@@ -1,0 +1,56 @@
+package power8
+
+// Ablation benchmarks: each quantifies one POWER8 design choice the
+// paper highlights, reporting the feature's worth as a custom metric.
+// See internal/ablation for the studies themselves.
+
+import (
+	"testing"
+
+	"repro/internal/ablation"
+	"repro/internal/arch"
+	"repro/internal/machine"
+)
+
+func BenchmarkAblationVictimL3(b *testing.B) {
+	m := machine.New(arch.E870())
+	var c ablation.Comparison
+	for i := 0; i < b.N; i++ {
+		c = ablation.VictimL3(m)
+	}
+	b.ReportMetric(c.Factor(), "x-latency-saved")
+}
+
+func BenchmarkAblationInterGroupRouting(b *testing.B) {
+	var c ablation.Comparison
+	for i := 0; i < b.N; i++ {
+		c = ablation.InterGroupRouting(arch.E870())
+	}
+	b.ReportMetric(c.With/c.Without, "x-bandwidth-gained")
+}
+
+func BenchmarkAblationAsymmetricLinks(b *testing.B) {
+	var r ablation.AsymmetricResult
+	for i := 0; i < b.N; i++ {
+		r = ablation.AsymmetricLinks()
+	}
+	b.ReportMetric(r.At2to1.With/r.At2to1.Without, "x-at-2to1")
+	b.ReportMetric(r.At1to1.With/r.At1to1.Without, "x-at-1to1")
+}
+
+func BenchmarkAblationRegisterFile(b *testing.B) {
+	var rows []ablation.Comparison
+	for i := 0; i < b.N; i++ {
+		rows = ablation.RegisterFile()
+	}
+	b.ReportMetric(rows[1].With/rows[0].With, "x-128-over-64-regs")
+}
+
+func BenchmarkAblationDCBTDetector(b *testing.B) {
+	m := machine.New(arch.E870())
+	var r ablation.DetectorResult
+	for i := 0; i < b.N; i++ {
+		r = ablation.DCBTVersusFasterDetector(m)
+	}
+	b.ReportMetric(float64(r.DCBT)/float64(r.FastDetector), "x-dcbt-over-fast-detector")
+}

@@ -1,0 +1,116 @@
+// Command p8repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	p8repro                      # run every experiment, print reports
+//	p8repro -exp table3          # run one experiment
+//	p8repro -quick               # reduced working sets (seconds, not minutes)
+//	p8repro -markdown            # emit an EXPERIMENTS.md-style report
+//	p8repro -list                # list experiment ids
+//
+// Exit status is non-zero when any paper-vs-measured check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		expID     = flag.String("exp", "", "run a single experiment by id (e.g. table3, figure7)")
+		quick     = flag.Bool("quick", false, "reduced working sets and scales")
+		markdown  = flag.Bool("markdown", false, "emit a markdown report (EXPERIMENTS.md format)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablation studies instead")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range power8.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *ablations {
+		printAblations()
+		return
+	}
+
+	m := power8.NewE870()
+	var reports []*power8.Report
+	if *expID != "" {
+		rep, err := power8.Run(*expID, m, *quick)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		reports = append(reports, rep)
+	} else {
+		reports = power8.RunAll(m, *quick)
+	}
+
+	failed := 0
+	for _, rep := range reports {
+		if *markdown {
+			printMarkdown(rep)
+		} else {
+			printText(rep)
+		}
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if !*markdown {
+		fmt.Printf("\n%d/%d experiments passed all checks\n", len(reports)-failed, len(reports))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func printText(rep *power8.Report) {
+	fmt.Printf("\n=== %s — %s ===\n", rep.ID, rep.Title)
+	for _, l := range rep.Lines {
+		fmt.Println("  " + l)
+	}
+	if len(rep.Notes) > 0 {
+		fmt.Println("  notes:")
+		for _, n := range rep.Notes {
+			fmt.Println("    - " + n)
+		}
+	}
+	fmt.Println("  checks:")
+	for _, c := range rep.Checks {
+		fmt.Println("    " + c.String())
+	}
+}
+
+func printMarkdown(rep *power8.Report) {
+	fmt.Printf("\n## %s — %s\n\n", rep.ID, rep.Title)
+	fmt.Println("```")
+	for _, l := range rep.Lines {
+		fmt.Println(l)
+	}
+	fmt.Println("```")
+	if len(rep.Notes) > 0 {
+		for _, n := range rep.Notes {
+			fmt.Println("- " + n)
+		}
+		fmt.Println()
+	}
+	fmt.Println("| check | result |")
+	fmt.Println("|---|---|")
+	for _, c := range rep.Checks {
+		status := "pass"
+		if !c.Pass() {
+			status = "**FAIL**"
+		}
+		name := strings.ReplaceAll(c.String(), "|", "/")
+		fmt.Printf("| `%s` | %s |\n", name, status)
+	}
+}

@@ -1,0 +1,109 @@
+// Command p8sim answers ad-hoc latency and bandwidth questions against
+// the POWER8 E870 machine model.
+//
+// Usage examples:
+//
+//	p8sim -latency -from 0 -to 5            # demand + prefetched latency
+//	p8sim -stream -reads 2 -writes 1        # Table III-style bandwidth
+//	p8sim -random -threads 8 -lists 4       # Figure 4-style bandwidth
+//	p8sim -fma -fmas 12 -threads 6          # Figure 5-style throughput
+//	p8sim -roofline -oi 0.8                 # attainable GFLOP/s at an OI
+//	p8sim -chase -ws 33554432               # simulate a pointer chase
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/arch"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/roofline"
+	"repro/internal/smt"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		doLatency  = flag.Bool("latency", false, "chip-to-chip memory latency")
+		doStream   = flag.Bool("stream", false, "streaming bandwidth at a read:write mix")
+		doRandom   = flag.Bool("random", false, "random-access bandwidth")
+		doFMA      = flag.Bool("fma", false, "FMA throughput")
+		doRoofline = flag.Bool("roofline", false, "roofline bound at an operational intensity")
+		doChase    = flag.Bool("chase", false, "simulate a dependent-load pointer chase")
+
+		from    = flag.Int("from", 0, "requesting chip")
+		to      = flag.Int("to", 0, "memory home chip")
+		reads   = flag.Float64("reads", 2, "read parts of the mix")
+		writes  = flag.Float64("writes", 1, "write parts of the mix")
+		threads = flag.Int("threads", 8, "threads per core")
+		lists   = flag.Int("lists", 4, "concurrent lists per thread")
+		fmas    = flag.Int("fmas", 12, "independent FMAs per loop")
+		oi      = flag.Float64("oi", 1.0, "operational intensity (FLOP/byte)")
+		ws      = flag.Int64("ws", 32<<20, "chase working set in bytes")
+		huge    = flag.Bool("huge", false, "use 16 MiB pages for the chase")
+	)
+	flag.Parse()
+
+	m := power8.NewE870()
+	ran := false
+
+	if *doLatency {
+		ran = true
+		src, dst := arch.ChipID(*from), arch.ChipID(*to)
+		fmt.Printf("chip%d -> chip%d: demand %.0f ns, prefetched %.1f ns\n",
+			src, dst, m.DemandLatencyNs(src, dst), m.PrefetchedLatencyNs(src, dst))
+		if src != dst {
+			fmt.Printf("one-direction %v, bi-direction %v\n",
+				m.Net.PairBandwidth(src, dst, false), m.Net.PairBandwidth(src, dst, true))
+		}
+	}
+	if *doStream {
+		ran = true
+		f := memsys.ReadShare(*reads, *writes)
+		fmt.Printf("%.0f:%.0f mix (read share %.3f): %v system, %v per chip\n",
+			*reads, *writes, f, m.Mem.SystemStream(f), m.Mem.StreamBandwidth(f, 1))
+	}
+	if *doRandom {
+		ran = true
+		fmt.Printf("%d threads/core x %d lists: %v\n",
+			*threads, *lists, m.RandomAccessBandwidth(*threads, *lists))
+	}
+	if *doFMA {
+		ran = true
+		k := smt.FMAKernel{FMAs: *fmas, Threads: *threads}
+		fmt.Printf("%d FMAs x %d threads: %.1f%% of peak (%v/core, %d registers)\n",
+			*fmas, *threads, 100*smt.FractionOfPeak(m.Spec.Chip, k),
+			smt.CoreGFlops(m.Spec.Chip, k), k.RegistersUsed())
+	}
+	if *doRoofline {
+		ran = true
+		main := roofline.ForSystem(m.Spec)
+		wo := roofline.WriteOnly(m.Spec)
+		bound := "memory"
+		if !main.MemoryBound(*oi) {
+			bound = "compute"
+		}
+		fmt.Printf("OI %.3f: %v attainable (%s bound); write-only ceiling %v\n",
+			*oi, main.Attainable(*oi), bound, wo.Attainable(*oi))
+	}
+	if *doChase {
+		ran = true
+		lines := int(*ws / 128)
+		page := arch.Page64K
+		if *huge {
+			page = arch.Page16M
+		}
+		w := m.NewWalker(machine.WalkerConfig{Page: page, DisablePrefetch: true})
+		w.Run(trace.NewChase(0, lines, 1, 42), 0)
+		res := w.Run(trace.NewChase(0, lines, 1, 42), 2_000_000)
+		fmt.Printf("chase over %d bytes (%v pages): %.2f ns/access\n", *ws, page, res.AvgNs())
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

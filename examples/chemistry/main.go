@@ -1,0 +1,46 @@
+// Chemistry: the paper's Hartree-Fock application (Section V-C) —
+// a full SCF run from scratch (s-Gaussian integrals, Schwarz screening,
+// Fock builds, Jacobi diagonalization), comparing the two algorithms of
+// Table VI: HF-Comp (recompute ERIs each iteration) and HF-Mem
+// (precompute and store them — the strategy large memory enables).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/hf"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	// A scaled-down 1hsg protein-ligand fragment that runs in seconds.
+	spec := hf.TableV()[3].Scaled(120)
+	mol := spec.Build()
+	fmt.Printf("molecule %s: %d atoms, %d basis functions, %d electrons\n",
+		spec.Name, len(mol.Atoms), mol.NumFunctions(), mol.NumElectrons())
+
+	for _, mode := range []hf.Mode{hf.HFComp, hf.HFMem} {
+		res, err := hf.Run(mol, hf.Config{Mode: mode})
+		if err != nil {
+			fmt.Println("SCF failed:", err)
+			return
+		}
+		fmt.Printf("\n%s: E = %.6f Ha in %d iterations (converged=%v)\n",
+			mode, res.Energy, res.Iterations, res.Converged)
+		c := res.Components
+		fmt.Printf("  kinetic %+.3f, e-nuc %+.3f, e-e %+.3f, nuc-nuc %+.3f\n",
+			c.Kinetic, c.NuclearAttraction, c.TwoElectron, c.NuclearRepulsion)
+		fmt.Printf("  non-screened quartets: %d (stored values %v)\n",
+			res.NonScreened, res.StoredERIBytes)
+		fmt.Printf("  precompute %v, Fock %v/iter, density %v/iter, total %v\n",
+			res.Timings.Precomp, res.FockPerIter(), res.DensityPerIter(), res.Total)
+	}
+
+	fmt.Println("\nE870 projection of Table VI (calibrated on alkane-842 only):")
+	fmt.Printf("%-14s %10s %10s %9s\n", "molecule", "HF-Comp", "HF-Mem", "speedup")
+	for _, row := range perfmodel.ProjectTableVI(0) {
+		fmt.Printf("%-14s %9.0fs %9.0fs %8.2fx\n", row.Molecule, row.HFComp, row.Total, row.Speedup)
+	}
+	fmt.Println("\nthe paper measures 3.0-5.3x — storing the ERIs wins whenever")
+	fmt.Println("the machine has the memory to hold them, which is the E870's point.")
+}

@@ -1,0 +1,71 @@
+// Graph analytics: the paper's Section V graph workloads — all-pairs
+// Jaccard similarity and the two-scan SpMV for scale-free graphs — run
+// for real on the host at reduced scale, then projected to the E870 at
+// the paper's scales.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/jaccard"
+	"repro/internal/perfmodel"
+	"repro/internal/spmv"
+)
+
+func main() {
+	m := power8.NewE870()
+
+	fmt.Println("== All-pairs Jaccard similarity (Section V-A) ==")
+	cfg := graph.DefaultRMAT(14, 1)
+	cfg.EdgeFactor = 8
+	cfg.Undirected = true
+	g := graph.RMAT(cfg)
+	fmt.Printf("R-MAT scale %d: %d vertices, %d directed edges (avg degree %.1f, max %d)\n",
+		cfg.Scale, g.Rows, g.NNZ(), g.AvgDegree(), g.MaxDegree())
+	st := jaccard.AllPairs(g, 0, nil)
+	fmt.Printf("host run: %.3fs, %d similar pairs\n", st.Elapsed.Seconds(), st.Pairs)
+	fmt.Printf("output %v vs input %v — the output dominates, which is the\n",
+		st.OutputBytes, st.InputBytes())
+	fmt.Println("paper's argument for large-memory SMPs over distributed clusters.")
+
+	topK := jaccard.NewTopK(5)
+	jaccard.AllPairs(g, 0, topK.Emit)
+	fmt.Println("most similar vertex pairs (near-duplicate detection):")
+	for _, p := range topK.Pairs() {
+		fmt.Printf("  (%6d, %6d)  J = %.3f\n", p.I, p.J, p.Similarity)
+	}
+
+	fmt.Println("\nE870 projection at the paper's scales (Figure 10):")
+	jm := perfmodel.DefaultJaccardModel()
+	for _, s := range []int{17, 19, 21, 23} {
+		p := perfmodel.ProjectJaccard(m, jm, s, 1)
+		fmt.Printf("  scale %2d: %8.1fs, footprint %v\n", p.Scale, p.TimeSec, p.Footprint)
+	}
+
+	fmt.Println("\n== Two-scan SpMV on scale-free graphs (Section V-B-2) ==")
+	spG := graph.RMAT(graph.DefaultRMAT(15, 2))
+	ts := spmv.NewTwoScan(spG, 4096)
+	rate := spmv.MeasureTwoScan(ts, 0, 3)
+	fmt.Printf("host run at scale 15: %v (avg block nnz %.0f)\n", rate, ts.AvgBlockNNZ())
+
+	ranks, iters := spmv.PageRank(spG, 0.85, 1e-10, 100, 0)
+	best, bestRank := 0, 0.0
+	for v, r := range ranks {
+		if r > bestRank {
+			best, bestRank = v, r
+		}
+	}
+	fmt.Printf("PageRank (an SpMV consumer the paper names): converged in %d iterations;\n", iters)
+	fmt.Printf("top vertex %d holds %.2f%% of the rank mass\n", best, 100*bestRank)
+
+	fmt.Println("\nE870 projection up to the paper's scale 31 (Figure 12):")
+	tm := perfmodel.DefaultTwoScanModel()
+	for _, s := range []int{20, 24, 28, 31} {
+		p := perfmodel.ProjectTwoScan(m, tm, s)
+		fmt.Printf("  scale %2d: %6.1f GFLOP/s (avg block nnz %.0f)\n", p.Scale, p.GFLOPs, p.AvgBlockNNZ)
+	}
+	fmt.Println("the decline mirrors the paper: constant degree + growing matrix")
+	fmt.Println("means ever-emptier blocks, defeating the prefetcher.")
+}

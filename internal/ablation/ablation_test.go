@@ -1,0 +1,159 @@
+package ablation
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/machine"
+)
+
+func e870() *machine.Machine { return machine.New(arch.E870()) }
+
+// TestVictimL3Worth: the NUCA lateral castout is what keeps a 32 MiB
+// working set at remote-L3 latency (~31 ns) instead of Centaur L4
+// latency (~67 ns) — roughly a 2x effect.
+func TestVictimL3Worth(t *testing.T) {
+	c := VictimL3(e870())
+	if c.With >= c.Without {
+		t.Fatalf("victim L3 did not help: with %.1f ns, without %.1f ns", c.With, c.Without)
+	}
+	if f := c.Factor(); f < 1.5 || f > 3 {
+		t.Errorf("victim L3 factor = %.2fx, want ~2x", f)
+	}
+	if c.With < 25 || c.With > 40 {
+		t.Errorf("with-victim latency %.1f ns, want remote-L3 plateau", c.With)
+	}
+	if c.Without < 55 || c.Without > 80 {
+		t.Errorf("without-victim latency %.1f ns, want L4 plateau", c.Without)
+	}
+}
+
+// TestInterGroupRoutingWorth: without multi-route spillover, inter-group
+// bandwidth falls from 45 GB/s to the direct bundle's ~29 GB/s — below
+// the intra-group X-bus, inverting the paper's counter-intuitive finding.
+func TestInterGroupRoutingWorth(t *testing.T) {
+	c := InterGroupRouting(arch.E870())
+	if c.With <= c.Without {
+		t.Fatalf("multi-route did not help: %.1f vs %.1f", c.With, c.Without)
+	}
+	if c.Without >= 30 {
+		t.Errorf("single-route bandwidth %.1f GB/s should fall below the intra-group 30", c.Without)
+	}
+	if c.With < 42 || c.With > 48 {
+		t.Errorf("multi-route bandwidth %.1f GB/s, want ~45", c.With)
+	}
+}
+
+// TestAsymmetricLinksTradeoff: the 2:1 link specialization helps 2:1
+// traffic and costs 1:1 traffic relative to a symmetric design of the
+// same raw capacity.
+func TestAsymmetricLinksTradeoff(t *testing.T) {
+	r := AsymmetricLinks()
+	if r.At2to1.With <= r.At2to1.Without {
+		t.Errorf("asymmetric links should win at 2:1: %.0f vs %.0f GB/s",
+			r.At2to1.With, r.At2to1.Without)
+	}
+	if r.At1to1.With >= r.At1to1.Without {
+		t.Errorf("asymmetric links should lose at 1:1: %.0f vs %.0f GB/s",
+			r.At1to1.With, r.At1to1.Without)
+	}
+}
+
+// TestRegisterFileScaling: with 64 architected registers the 12x8 kernel
+// collapses; 128 recovers most of it; 256 removes the penalty entirely.
+func TestRegisterFileScaling(t *testing.T) {
+	rows := RegisterFile()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	frac64, frac128, frac256 := rows[0].With, rows[1].With, rows[2].With
+	if !(frac64 < frac128 && frac128 < frac256) {
+		t.Fatalf("fractions not increasing with register file: %v %v %v", frac64, frac128, frac256)
+	}
+	if frac256 != 1 {
+		t.Errorf("256 registers should reach peak, got %v", frac256)
+	}
+	if frac128 < 0.6 || frac128 > 0.7 {
+		t.Errorf("128 registers at 12x8 = %v, want 128/192", frac128)
+	}
+}
+
+// TestDCBTVersusFasterDetector: even an ideal 1-access hardware detector
+// cannot match DCBT on tiny blocks, because DCBT prefetches the whole
+// block before the first touch.
+func TestDCBTVersusFasterDetector(t *testing.T) {
+	r := DCBTVersusFasterDetector(e870())
+	if r.FastDetector.GBps() <= r.NormalDetector.GBps() {
+		t.Errorf("faster detector should beat the normal one: %.1f vs %.1f",
+			r.FastDetector.GBps(), r.NormalDetector.GBps())
+	}
+	if r.DCBT.GBps() <= r.FastDetector.GBps() {
+		t.Errorf("DCBT should beat even a 1-access detector: %.1f vs %.1f",
+			r.DCBT.GBps(), r.FastDetector.GBps())
+	}
+}
+
+// TestGroupScaling: as groups are added, X capacity grows linearly with
+// chips but the A tier grows slower, so all-to-all bandwidth per chip
+// falls — the scaling pressure on the fabric's second tier.
+func TestGroupScaling(t *testing.T) {
+	rows := GroupScaling()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Chips != 4*(i+1) {
+			t.Errorf("row %d: chips = %d", i, r.Chips)
+		}
+		if r.AllToAll <= 0 || r.XAggregate <= 0 {
+			t.Errorf("row %d: non-positive bandwidths %+v", i, r)
+		}
+	}
+	perChip2 := rows[1].AllToAll.GBps() / float64(rows[1].Chips)
+	perChip4 := rows[3].AllToAll.GBps() / float64(rows[3].Chips)
+	if perChip4 >= perChip2 {
+		t.Errorf("per-chip all-to-all should fall with more groups: %0.f -> %.0f GB/s",
+			perChip2, perChip4)
+	}
+	if rows[0].WorstLatencyNs >= rows[1].WorstLatencyNs {
+		t.Error("adding a second group should add A-hop latency")
+	}
+	// The paper's E870 point (2 groups) must match Table IV.
+	if got := rows[1].AllToAll.GBps(); got < 360 || got > 400 {
+		t.Errorf("2-group all-to-all = %.0f, want ~380", got)
+	}
+}
+
+// TestMaxSMPHeadline: the 192-way maximum configuration reaches the
+// Section II-B paper numbers and keeps the balanced design.
+func TestMaxSMPHeadline(t *testing.T) {
+	h := MaxSMP()
+	if got := h.PeakDP.GFs(); got < 6143 || got > 6145 {
+		t.Errorf("peak DP = %v, want 6144", got)
+	}
+	// 2:1 stream at the same 80% efficiency: 16 x 230.4 x 0.8 ~ 2949.
+	if got := h.Stream2to1.GBps(); got < 2800 || got > 3050 {
+		t.Errorf("2:1 stream = %.0f GB/s, want ~2949", got)
+	}
+	if h.Balance < 1.5 || h.Balance > 1.8 {
+		t.Errorf("balance = %v; the 4 GHz 12-core chip trades balance slightly", h.Balance)
+	}
+	// The four-group machine's worst route is still one A + one X hop
+	// (groups are fully A-connected), so the E870's 243 ns worst case
+	// carries over rather than growing.
+	if h.WorstLatencyNs < 243 {
+		t.Errorf("worst latency %v ns, want >= the E870's 243", h.WorstLatencyNs)
+	}
+	if h.RandomSat.GBps() <= 500 {
+		t.Error("random saturation should scale with the larger read capacity")
+	}
+}
+
+func TestComparisonFactor(t *testing.T) {
+	if (Comparison{With: 2, Without: 6}).Factor() != 3 {
+		t.Error("Factor wrong")
+	}
+	if (Comparison{With: 0, Without: 6}).Factor() != 0 {
+		t.Error("zero With should give 0")
+	}
+}

@@ -1,0 +1,94 @@
+package ablation
+
+import (
+	"repro/internal/arch"
+	"repro/internal/fabric"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// GroupScalingRow describes one SMP size in the group-scaling study.
+type GroupScalingRow struct {
+	Groups     int
+	Chips      int
+	AllToAll   units.Bandwidth
+	XAggregate units.Bandwidth
+	AAggregate units.Bandwidth
+	// WorstLatencyNs is the largest chip-to-chip demand latency.
+	WorstLatencyNs float64
+}
+
+// GroupScaling evaluates the POWER8 interconnect as the SMP grows from
+// one group (the smallest E870-class machine) to the four-group maximum
+// of Section II-B, quantifying how the A-bus tier becomes the binding
+// constraint for global traffic — an extension study beyond the paper's
+// single 2-group data point.
+func GroupScaling() []GroupScalingRow {
+	spec := arch.E870()
+	var out []GroupScalingRow
+	for groups := 1; groups <= 4; groups++ {
+		// A chip has three A-bus ports total, split over its partner
+		// groups: 2 groups bond all three lanes to the single partner
+		// (the E870), 3-4 groups get one lane per partner.
+		aLanes := 3
+		if groups > 2 {
+			aLanes = 3 / (groups - 1)
+		}
+		topo := arch.NewGroupedTopology(groups, 4, aLanes)
+		net := fabric.New(topo, spec.Latency, fabric.E870Calibration())
+		row := GroupScalingRow{
+			Groups:     groups,
+			Chips:      topo.Chips,
+			XAggregate: net.AggregateBandwidth(arch.XBus),
+			AAggregate: net.AggregateBandwidth(arch.ABus),
+		}
+		if groups > 1 {
+			row.AllToAll = net.AllToAll()
+		} else {
+			// A single group has no A tier; all-to-all is X-bound.
+			shares := net.AllToAllShares()
+			row.AllToAll = units.Bandwidth(float64(net.AggregateBandwidth(arch.XBus)) * 0.92 / shares.X)
+		}
+		for src := 0; src < topo.Chips; src++ {
+			for dst := 0; dst < topo.Chips; dst++ {
+				if lat := spec.Latency.LocalDRAMNs + net.HopLatencyNs(arch.ChipID(src), arch.ChipID(dst)); lat > row.WorstLatencyNs {
+					row.WorstLatencyNs = lat
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// MaxSMPHeadline projects the paper's headline bandwidth and latency
+// quantities onto the largest configuration of Section II-B (16 sockets,
+// 192 cores, 16 TB): what Table III's 2:1 row and Figure 4's saturation
+// would read on the big machine.
+type MaxSMPHeadline struct {
+	PeakDP         units.Rate
+	Stream2to1     units.Bandwidth
+	RandomSat      units.Bandwidth
+	Balance        float64
+	WorstLatencyNs float64
+}
+
+// MaxSMP runs the projection with the E870-fitted calibrations.
+func MaxSMP() MaxSMPHeadline {
+	m := machine.New(arch.MaxPOWER8SMP())
+	h := MaxSMPHeadline{
+		PeakDP:     m.Spec.PeakDP(),
+		Stream2to1: m.Mem.SystemStream(2.0 / 3),
+		RandomSat:  m.RandomAccessBandwidth(8, 8),
+		Balance:    m.Spec.Balance(),
+	}
+	chips := m.Spec.Topology.Chips
+	for src := 0; src < chips; src++ {
+		for dst := 0; dst < chips; dst++ {
+			if lat := m.DemandLatencyNs(arch.ChipID(src), arch.ChipID(dst)); lat > h.WorstLatencyNs {
+				h.WorstLatencyNs = lat
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,66 @@
+package arch
+
+import "fmt"
+
+// SMTMode is one of the four POWER8 core threading modes. The core picks
+// the mode dynamically from the number of active threads; in every mode
+// except ST the hardware threads are split into two thread-sets, each of
+// which can use only half of the core's resources (Section III-C). That
+// split is why odd active-thread counts lose performance: one thread-set
+// carries more threads than the other but has the same resources.
+type SMTMode int
+
+// The four POWER8 SMT modes.
+const (
+	ST SMTMode = iota
+	SMT2
+	SMT4
+	SMT8
+)
+
+// String implements fmt.Stringer.
+func (m SMTMode) String() string {
+	switch m {
+	case ST:
+		return "ST"
+	case SMT2:
+		return "SMT2"
+	case SMT4:
+		return "SMT4"
+	case SMT8:
+		return "SMT8"
+	default:
+		return fmt.Sprintf("SMTMode(%d)", int(m))
+	}
+}
+
+// SMTModeFor returns the mode the core selects for n active threads:
+// 1 thread -> ST, 2 -> SMT2, 3-4 -> SMT4, 5-8 -> SMT8.
+// It panics for n outside [1, 8].
+func SMTModeFor(n int) SMTMode {
+	switch {
+	case n == 1:
+		return ST
+	case n == 2:
+		return SMT2
+	case n <= 4 && n >= 3:
+		return SMT4
+	case n >= 5 && n <= 8:
+		return SMT8
+	default:
+		panic(fmt.Sprintf("arch: invalid active thread count %d", n))
+	}
+}
+
+// ThreadSets returns how the n active threads are distributed over
+// thread-sets in the mode chosen for n. In ST mode there is a single set;
+// otherwise threads alternate between two sets, so odd counts leave the
+// sets imbalanced.
+func ThreadSets(n int) []int {
+	if SMTModeFor(n) == ST {
+		return []int{1}
+	}
+	a := (n + 1) / 2
+	b := n / 2
+	return []int{a, b}
+}

@@ -1,0 +1,167 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// ChipID identifies a processor chip in an SMP system. In the E870 the
+// numbering follows the paper: chips 0-3 form group 0, chips 4-7 form
+// group 1, and chip i is A-bus-paired with chip i+4.
+type ChipID int
+
+// LinkKind distinguishes the two SMP interconnect link types.
+type LinkKind int
+
+// The POWER8 SMP link types: X-bus connects chips within a group, A-bus
+// connects each chip to its corresponding chip in another group.
+const (
+	XBus LinkKind = iota
+	ABus
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	if k == XBus {
+		return "X-bus"
+	}
+	return "A-bus"
+}
+
+// Link is one (possibly bonded) SMP link between two chips. Count is the
+// number of physical lanes bonded between the pair (the E870 bonds its
+// three A-bus lanes to the single partner chip in the other group);
+// PerLane is the unidirectional bandwidth of one lane.
+type Link struct {
+	A, B    ChipID
+	Kind    LinkKind
+	PerLane units.Bandwidth
+	Count   int
+}
+
+// Capacity returns the total unidirectional bandwidth of the link.
+func (l Link) Capacity() units.Bandwidth {
+	return units.Bandwidth(float64(l.PerLane) * float64(l.Count))
+}
+
+// Topology describes the chip-to-chip wiring of an SMP system.
+type Topology struct {
+	Chips         int
+	Groups        int
+	ChipsPerGroup int
+	links         []Link
+}
+
+// Published per-lane unidirectional link bandwidths (Section II-B).
+const (
+	XBusLaneGBs = 39.2
+	ABusLaneGBs = 12.8
+)
+
+// NewGroupedTopology builds the POWER8 SMP wiring for groups x perGroup
+// chips: a full X-bus crossbar inside each group, and aLanes bonded A-bus
+// lanes between each chip and its same-position chip in every other group.
+// It panics on non-positive dimensions or perGroup > 4 (a POWER8 chip has
+// only three X-bus ports).
+func NewGroupedTopology(groups, perGroup, aLanes int) *Topology {
+	if groups <= 0 || perGroup <= 0 || aLanes <= 0 {
+		panic("arch: topology dimensions must be positive")
+	}
+	if perGroup > 4 {
+		panic("arch: a POWER8 chip has three X-bus ports; groups are at most four chips")
+	}
+	if groups > 4 {
+		panic("arch: a POWER8 chip has three A-bus ports; at most four groups")
+	}
+	t := &Topology{Chips: groups * perGroup, Groups: groups, ChipsPerGroup: perGroup}
+	for g := 0; g < groups; g++ {
+		base := g * perGroup
+		for i := 0; i < perGroup; i++ {
+			for j := i + 1; j < perGroup; j++ {
+				t.links = append(t.links, Link{
+					A: ChipID(base + i), B: ChipID(base + j),
+					Kind: XBus, PerLane: units.GBps(XBusLaneGBs), Count: 1,
+				})
+			}
+		}
+	}
+	for g1 := 0; g1 < groups; g1++ {
+		for g2 := g1 + 1; g2 < groups; g2++ {
+			for i := 0; i < perGroup; i++ {
+				t.links = append(t.links, Link{
+					A: ChipID(g1*perGroup + i), B: ChipID(g2*perGroup + i),
+					Kind: ABus, PerLane: units.GBps(ABusLaneGBs), Count: aLanes,
+				})
+			}
+		}
+	}
+	return t
+}
+
+// Links returns all links; the slice must not be modified.
+func (t *Topology) Links() []Link { return t.links }
+
+// Group returns the group a chip belongs to.
+func (t *Topology) Group(c ChipID) int {
+	t.check(c)
+	return int(c) / t.ChipsPerGroup
+}
+
+// PositionInGroup returns the chip's index within its group.
+func (t *Topology) PositionInGroup(c ChipID) int {
+	t.check(c)
+	return int(c) % t.ChipsPerGroup
+}
+
+// SameGroup reports whether two chips share a group.
+func (t *Topology) SameGroup(a, b ChipID) bool { return t.Group(a) == t.Group(b) }
+
+// Paired reports whether two chips in different groups are directly
+// connected by an A-bus (same position in their groups).
+func (t *Topology) Paired(a, b ChipID) bool {
+	return t.Group(a) != t.Group(b) && t.PositionInGroup(a) == t.PositionInGroup(b)
+}
+
+// LinkBetween returns the direct link between two chips, if any.
+func (t *Topology) LinkBetween(a, b ChipID) (Link, bool) {
+	t.check(a)
+	t.check(b)
+	if t.SameGroup(a, b) && a != b {
+		return t.findLink(a, b, XBus)
+	}
+	if t.Paired(a, b) {
+		return t.findLink(a, b, ABus)
+	}
+	return Link{}, false
+}
+
+func (t *Topology) findLink(a, b ChipID, kind LinkKind) (Link, bool) {
+	for _, l := range t.links {
+		if l.Kind != kind {
+			continue
+		}
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// AggregateCapacity returns the total raw bidirectional bandwidth of all
+// links of the given kind: sum over links of 2 x lanes x per-lane.
+func (t *Topology) AggregateCapacity(kind LinkKind) units.Bandwidth {
+	var total float64
+	for _, l := range t.links {
+		if l.Kind == kind {
+			total += 2 * float64(l.Capacity())
+		}
+	}
+	return units.Bandwidth(total)
+}
+
+func (t *Topology) check(c ChipID) {
+	if int(c) < 0 || int(c) >= t.Chips {
+		panic(fmt.Sprintf("arch: chip %d out of range [0,%d)", c, t.Chips))
+	}
+}

@@ -1,0 +1,258 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func lineAddr(n int) uint64 { return uint64(n) * 128 }
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := NewRaw(4, 2, 7)
+	if c.Lookup(lineAddr(1)) {
+		t.Error("cold lookup hit")
+	}
+	c.Insert(lineAddr(1))
+	if !c.Lookup(lineAddr(1)) {
+		t.Error("inserted line missed")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewRaw(1, 2, 7) // one set, two ways
+	c.Insert(lineAddr(1))
+	c.Insert(lineAddr(2))
+	c.Lookup(lineAddr(1)) // make line 2 the LRU
+	victim, evicted := c.Insert(lineAddr(3))
+	if !evicted || victim != lineAddr(2) {
+		t.Errorf("evicted %v (%d), want line 2", evicted, victim)
+	}
+	if !c.Contains(lineAddr(1)) || c.Contains(lineAddr(2)) || !c.Contains(lineAddr(3)) {
+		t.Error("post-eviction contents wrong")
+	}
+}
+
+func TestInsertRefreshesExisting(t *testing.T) {
+	c := NewRaw(1, 2, 7)
+	c.Insert(lineAddr(1))
+	c.Insert(lineAddr(2))
+	c.Insert(lineAddr(1)) // refresh, no eviction
+	victim, evicted := c.Insert(lineAddr(3))
+	if !evicted || victim != lineAddr(2) {
+		t.Errorf("refresh did not update LRU: evicted line %d", victim/128)
+	}
+}
+
+func TestInsertPrefersEmptyWay(t *testing.T) {
+	c := NewRaw(1, 4, 7)
+	c.Insert(lineAddr(1))
+	if _, evicted := c.Insert(lineAddr(2)); evicted {
+		t.Error("eviction with empty ways available")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := NewRaw(2, 2, 7)
+	c.Insert(lineAddr(4))
+	if !c.Invalidate(lineAddr(4)) {
+		t.Error("Invalidate missed present line")
+	}
+	if c.Invalidate(lineAddr(4)) {
+		t.Error("Invalidate hit absent line")
+	}
+	if c.Contains(lineAddr(4)) {
+		t.Error("line still present after invalidate")
+	}
+}
+
+func TestNonPowerOfTwoSets(t *testing.T) {
+	c := NewRaw(7, 2, 7)
+	// Insert more lines than capacity; everything must remain findable
+	// immediately after its own insert and set mapping must be stable.
+	for i := 0; i < 100; i++ {
+		c.Insert(lineAddr(i))
+		if !c.Contains(lineAddr(i)) {
+			t.Fatalf("line %d not present immediately after insert", i)
+		}
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	f := func(nLines uint8) bool {
+		c := NewRaw(4, 2, 7)
+		for i := 0; i < int(nLines); i++ {
+			c.Insert(lineAddr(i))
+		}
+		resident := 0
+		for i := 0; i < int(nLines); i++ {
+			if c.Contains(lineAddr(i)) {
+				resident++
+			}
+		}
+		return resident <= c.Capacity()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := NewRaw(2, 2, 7)
+	c.Insert(lineAddr(1))
+	c.Lookup(lineAddr(1))
+	c.Flush()
+	if c.Contains(lineAddr(1)) || c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("Flush incomplete")
+	}
+}
+
+func TestNewFromGeometry(t *testing.T) {
+	g := arch.CacheGeom{Size: 64 * 1024, LineSize: 128, Assoc: 8}
+	c := New(g)
+	if c.Sets() != 64 || c.Ways() != 8 || c.Capacity() != 512 {
+		t.Errorf("geometry: sets=%d ways=%d", c.Sets(), c.Ways())
+	}
+}
+
+func TestNewRawPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRaw(0, 1, 7) },
+		func() { NewRaw(1, 0, 7) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func newTestHierarchy() *Hierarchy {
+	return NewHierarchy(arch.POWER8(8, 4.35), arch.Centaur(), 8)
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := newTestHierarchy()
+	addr := uint64(1 << 30)
+	if got := h.Read(addr, true); got != LevelDRAM {
+		t.Errorf("cold read = %v, want DRAM", got)
+	}
+	if got := h.Read(addr, true); got != LevelL1 {
+		t.Errorf("second read = %v, want L1", got)
+	}
+}
+
+func TestHierarchyL4MemorySide(t *testing.T) {
+	h := newTestHierarchy()
+	addr := uint64(1 << 30)
+	h.Read(addr, true) // DRAM -> fills L4
+	// Evict from core caches by invalidating directly.
+	h.L1.Invalidate(addr)
+	h.L2.Invalidate(addr)
+	if got := h.Read(addr, true); got != LevelL4 {
+		t.Errorf("read after core eviction = %v, want L4", got)
+	}
+}
+
+func TestHierarchyRemoteHomeSkipsL4(t *testing.T) {
+	h := newTestHierarchy()
+	addr := uint64(1 << 30)
+	h.Read(addr, false)
+	h.L1.Invalidate(addr)
+	h.L2.Invalidate(addr)
+	if got := h.Read(addr, false); got != LevelDRAM {
+		t.Errorf("remote-homed line hit %v, want DRAM (no local L4 fill)", got)
+	}
+}
+
+// TestHierarchyWorkingSetPlateaus checks that growing working sets land in
+// the expected level, mirroring the Figure 2 plateaus.
+func TestHierarchyWorkingSetPlateaus(t *testing.T) {
+	cases := []struct {
+		lines     int
+		wantLevel Level
+	}{
+		{256, LevelL1},          // 32 KiB
+		{2048, LevelL2},         // 256 KiB
+		{16384, LevelL3},        // 2 MiB
+		{262144, LevelL3Remote}, // 32 MiB: beyond 8 MiB local L3, within 64 MiB chip L3
+	}
+	for _, c := range cases {
+		h := newTestHierarchy()
+		for i := 0; i < c.lines; i++ { // warm pass
+			h.Read(lineAddr(i), true)
+		}
+		counts := map[Level]uint64{}
+		for i := 0; i < c.lines; i++ { // measured pass
+			counts[h.Read(lineAddr(i), true)]++
+		}
+		dominant, best := LevelDRAM, uint64(0)
+		for l, n := range counts {
+			if n > best {
+				dominant, best = l, n
+			}
+		}
+		if dominant != c.wantLevel {
+			t.Errorf("working set %d lines: dominant level %v (counts %v), want %v",
+				c.lines, dominant, counts, c.wantLevel)
+		}
+	}
+}
+
+func TestHierarchyInstallMakesL1Hit(t *testing.T) {
+	h := newTestHierarchy()
+	addr := uint64(4096)
+	h.Install(addr)
+	if got := h.Read(addr, true); got != LevelL1 {
+		t.Errorf("read after Install = %v, want L1", got)
+	}
+}
+
+func TestHierarchyContainsAny(t *testing.T) {
+	h := newTestHierarchy()
+	addr := uint64(8192)
+	if h.ContainsAny(addr) {
+		t.Error("empty hierarchy contains line")
+	}
+	h.Install(addr)
+	if !h.ContainsAny(addr) {
+		t.Error("installed line not found")
+	}
+}
+
+func TestHierarchyCounters(t *testing.T) {
+	h := newTestHierarchy()
+	h.Read(0, true)
+	h.Read(0, true)
+	if h.Reads() != 2 {
+		t.Errorf("Reads = %d", h.Reads())
+	}
+	lc := h.LevelCounts()
+	if lc[LevelDRAM] != 1 || lc[LevelL1] != 1 {
+		t.Errorf("LevelCounts = %v", lc)
+	}
+	h.Flush()
+	if h.Reads() != 0 {
+		t.Error("Flush did not clear counters")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	want := map[Level]string{
+		LevelL1: "L1", LevelL2: "L2", LevelL3: "L3",
+		LevelL3Remote: "L3-remote", LevelL4: "L4", LevelDRAM: "DRAM",
+	}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("Level %d String = %q, want %q", int(l), l.String(), s)
+		}
+	}
+}

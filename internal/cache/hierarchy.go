@@ -1,0 +1,183 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/units"
+)
+
+// Level identifies where in the hierarchy a read was satisfied.
+type Level int
+
+// Hierarchy levels in increasing distance from the core. L3Remote is a hit
+// in another core's L3 region on the same chip (the NUCA/victim behaviour
+// of Section II-A); L4 is the Centaur eDRAM.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelL3Remote
+	LevelL4
+	LevelDRAM
+	numLevels
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelL3Remote:
+		return "L3-remote"
+	case LevelL4:
+		return "L4"
+	case LevelDRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Hierarchy models the caches one hardware thread sees on a POWER8 chip:
+// its core's L1/L2, the core's local 8 MiB L3 region, the remaining cores'
+// L3 regions acting as a victim cache, and the chip's Centaur L4. Stores
+// are not modelled separately here — the latency experiments in the paper
+// are read benchmarks; store bandwidth is handled by the analytic solver.
+type Hierarchy struct {
+	L1       *SetAssoc
+	L2       *SetAssoc
+	L3Local  *SetAssoc
+	L3Victim *SetAssoc
+	L4       *SetAssoc
+
+	// DisableVictim turns off the NUCA lateral-castout behaviour: local
+	// L3 evictions are dropped instead of spilling into the other cores'
+	// regions. Used by the ablation studies to quantify what the
+	// paper's "each L3 also serving requests for other cores" design is
+	// worth.
+	DisableVictim bool
+
+	counts [numLevels]uint64
+}
+
+// NewHierarchy builds the hierarchy for one core of chip, backed by the
+// chip-wide victim L3 (the other cores' regions) and the chip's aggregate
+// L4 built from centaurs Centaur chips.
+func NewHierarchy(chip arch.ChipSpec, centaur arch.CentaurSpec, centaurs int) *Hierarchy {
+	victim := chip.L3PerCore
+	victim.Size = victim.Size * units.Bytes(chip.Cores-1)
+	l4 := arch.CacheGeom{
+		Size:     centaur.L4Size * units.Bytes(centaurs),
+		LineSize: chip.L3PerCore.LineSize,
+		Assoc:    16,
+	}
+	return &Hierarchy{
+		L1:       New(chip.L1D),
+		L2:       New(chip.L2),
+		L3Local:  New(chip.L3PerCore),
+		L3Victim: New(victim),
+		L4:       New(l4),
+	}
+}
+
+// Read walks a demand load through the hierarchy, returning the level that
+// supplied the line, and updates contents along the fill path: the line is
+// installed in L1 and L2; L2 castouts fall into the local L3; local-L3
+// victims spill to the on-chip victim L3; DRAM fills also populate the
+// memory-side L4 when l4Homed is true (the L4 caches only the DRAM behind
+// this chip's own Centaurs).
+func (h *Hierarchy) Read(addr uint64, l4Homed bool) Level {
+	level := h.lookup(addr, l4Homed)
+	h.fill(addr, level, l4Homed)
+	h.counts[level]++
+	return level
+}
+
+func (h *Hierarchy) lookup(addr uint64, l4Homed bool) Level {
+	switch {
+	case h.L1.Lookup(addr):
+		return LevelL1
+	case h.L2.Lookup(addr):
+		return LevelL2
+	case h.L3Local.Lookup(addr):
+		// Victim semantics: a hit promotes the line back toward the core
+		// and removes it from L3.
+		h.L3Local.Invalidate(addr)
+		return LevelL3
+	case !h.DisableVictim && h.L3Victim.Lookup(addr):
+		h.L3Victim.Invalidate(addr)
+		return LevelL3Remote
+	case l4Homed && h.L4.Lookup(addr):
+		return LevelL4
+	default:
+		return LevelDRAM
+	}
+}
+
+func (h *Hierarchy) fill(addr uint64, level Level, l4Homed bool) {
+	if level == LevelDRAM && l4Homed {
+		// Memory-side fill: the Centaur caches lines read from its DRAM.
+		h.L4.Insert(addr)
+	}
+	if level != LevelL1 {
+		h.L1.Insert(addr)
+		if cast, ok := h.L2.Insert(addr); ok {
+			if spill, ok := h.L3Local.Insert(cast); ok && !h.DisableVictim {
+				h.L3Victim.Insert(spill)
+			}
+		}
+	}
+}
+
+// Install places a line into L1/L2 without recording a demand read,
+// modelling a completed hardware prefetch. Castouts propagate as in fill.
+func (h *Hierarchy) Install(addr uint64) {
+	h.L1.Insert(addr)
+	if cast, ok := h.L2.Insert(addr); ok {
+		if spill, ok := h.L3Local.Insert(cast); ok && !h.DisableVictim {
+			h.L3Victim.Insert(spill)
+		}
+	}
+}
+
+// ContainsAny reports whether any core-side level (L1..victim L3) holds
+// the line; the prefetch engine skips lines that are already resident.
+func (h *Hierarchy) ContainsAny(addr uint64) bool {
+	return h.L1.Contains(addr) || h.L2.Contains(addr) ||
+		h.L3Local.Contains(addr) || h.L3Victim.Contains(addr)
+}
+
+// LevelCounts returns how many reads each level satisfied.
+func (h *Hierarchy) LevelCounts() map[Level]uint64 {
+	m := make(map[Level]uint64, int(numLevels))
+	for l, n := range h.counts {
+		if n > 0 {
+			m[Level(l)] = n
+		}
+	}
+	return m
+}
+
+// Reads returns the total number of Read calls.
+func (h *Hierarchy) Reads() uint64 {
+	var total uint64
+	for _, n := range h.counts {
+		total += n
+	}
+	return total
+}
+
+// Flush empties every level and clears statistics.
+func (h *Hierarchy) Flush() {
+	h.L1.Flush()
+	h.L2.Flush()
+	h.L3Local.Flush()
+	h.L3Victim.Flush()
+	h.L4.Flush()
+	h.counts = [numLevels]uint64{}
+}

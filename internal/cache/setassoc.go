@@ -1,0 +1,164 @@
+// Package cache implements the set-associative cache structures the
+// machine model composes into the POWER8 four-level hierarchy: a generic
+// LRU set-associative array, plus the Hierarchy type that wires together
+// the store-through L1, store-in L2, NUCA victim L3 and the memory-side
+// Centaur L4 (Section II-A of the paper).
+package cache
+
+import (
+	"math/bits"
+
+	"repro/internal/arch"
+)
+
+// SetAssoc is a set-associative cache directory with true-LRU replacement.
+// It tracks tags only (no data), which is all a performance model needs.
+type SetAssoc struct {
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+
+	// lines[set*ways+way] holds the line number (addr >> lineShift) + 1;
+	// zero means invalid. age holds the LRU stamp of the way.
+	lines []uint64
+	age   []uint64
+	stamp uint64
+
+	hits, misses uint64
+}
+
+// New builds a cache from a geometry. Size, line size and associativity
+// must describe a power-of-two number of sets.
+func New(geom arch.CacheGeom) *SetAssoc {
+	return NewRaw(geom.Sets(), geom.Assoc, uint(bits.TrailingZeros64(uint64(geom.LineSize))))
+}
+
+// NewRaw builds a cache directly from set count, way count and the log2 of
+// the indexing granule. Power-of-two set counts index with a mask; other
+// counts (e.g. the 7-core victim L3 region) fall back to modulo.
+func NewRaw(sets, ways int, lineShift uint) *SetAssoc {
+	if sets <= 0 || ways <= 0 {
+		panic("cache: sets and ways must be positive")
+	}
+	c := &SetAssoc{
+		sets:      sets,
+		ways:      ways,
+		lineShift: lineShift,
+		lines:     make([]uint64, sets*ways),
+		age:       make([]uint64, sets*ways),
+	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint64(sets - 1)
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// Capacity returns the number of lines the cache can hold.
+func (c *SetAssoc) Capacity() int { return c.sets * c.ways }
+
+// Hits returns the number of lookup hits so far.
+func (c *SetAssoc) Hits() uint64 { return c.hits }
+
+// Misses returns the number of lookup misses so far.
+func (c *SetAssoc) Misses() uint64 { return c.misses }
+
+func (c *SetAssoc) index(addr uint64) (line uint64, base int) {
+	line = addr>>c.lineShift + 1 // +1 so zero means invalid
+	var set uint64
+	if c.setMask != 0 || c.sets == 1 {
+		set = (line - 1) & c.setMask
+	} else {
+		set = (line - 1) % uint64(c.sets)
+	}
+	return line, int(set) * c.ways
+}
+
+// Lookup probes for addr, updating LRU state and hit/miss counters.
+func (c *SetAssoc) Lookup(addr uint64) bool {
+	line, base := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w] == line {
+			c.stamp++
+			c.age[base+w] = c.stamp
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains probes for addr without touching LRU state or counters.
+func (c *SetAssoc) Contains(addr uint64) bool {
+	line, base := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places addr's line, evicting the LRU way if the set is full.
+// It returns the evicted line's address and whether an eviction occurred.
+// Inserting a line that is already present refreshes its LRU position.
+func (c *SetAssoc) Insert(addr uint64) (victimAddr uint64, evicted bool) {
+	line, base := c.index(addr)
+	c.stamp++
+	victimWay, victimAge := -1, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		switch {
+		case c.lines[base+w] == line:
+			c.age[base+w] = c.stamp
+			return 0, false
+		case c.lines[base+w] == 0:
+			// Remember the first empty way; keep scanning in case the
+			// line is present in a later way.
+			if victimAge != 0 {
+				victimWay, victimAge = w, 0
+			}
+		case c.age[base+w] < victimAge:
+			victimWay, victimAge = w, c.age[base+w]
+		}
+	}
+	old := c.lines[base+victimWay]
+	c.lines[base+victimWay] = line
+	c.age[base+victimWay] = c.stamp
+	if old == 0 {
+		return 0, false
+	}
+	return (old - 1) << c.lineShift, true
+}
+
+// Invalidate removes addr's line if present, reporting whether it was.
+func (c *SetAssoc) Invalidate(addr uint64) bool {
+	line, base := c.index(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w] == line {
+			c.lines[base+w] = 0
+			c.age[base+w] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats clears hit/miss counters without touching contents.
+func (c *SetAssoc) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Flush empties the cache and clears statistics.
+func (c *SetAssoc) Flush() {
+	for i := range c.lines {
+		c.lines[i] = 0
+		c.age[i] = 0
+	}
+	c.stamp = 0
+	c.ResetStats()
+}

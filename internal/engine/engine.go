@@ -1,0 +1,168 @@
+// Package engine is a small discrete-event simulation kernel: a simulated
+// clock, a time-ordered event queue, and FIFO-queued resources with finite
+// service capacity. The machine model uses it for experiments where
+// concurrency and queueing matter — random-access bandwidth with limited
+// load-miss queues (Figure 4) and link contention — while pure dependent-
+// load latency walks (Figure 2) do not need it.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time float64
+
+// Event is a callback scheduled at a point in simulated time.
+type Event func(s *Sim)
+
+type scheduled struct {
+	at   Time
+	seq  uint64 // tie-break so same-time events run in schedule order
+	call Event
+}
+
+type eventQueue []scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(scheduled)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// Sim is a discrete-event simulation instance. The zero value is ready to
+// use.
+type Sim struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	events uint64
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Events returns the number of events executed so far.
+func (s *Sim) Events() uint64 { return s.events }
+
+// At schedules ev at absolute time t, which must not be in the past.
+func (s *Sim) At(t Time, ev Event) {
+	if t < s.now {
+		panic(fmt.Sprintf("engine: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, scheduled{at: t, seq: s.seq, call: ev})
+}
+
+// After schedules ev delay nanoseconds from now; negative delays panic.
+func (s *Sim) After(delay Time, ev Event) { s.At(s.now+delay, ev) }
+
+// Step executes the next event. It reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&s.queue).(scheduled)
+	s.now = next.at
+	s.events++
+	next.call(s)
+	return true
+}
+
+// Run executes events until the queue drains or until simulated time
+// exceeds horizon (0 means no horizon). It returns the number of events
+// executed by this call.
+func (s *Sim) Run(horizon Time) uint64 {
+	start := s.events
+	for len(s.queue) > 0 {
+		if horizon > 0 && s.queue[0].at > horizon {
+			break
+		}
+		s.Step()
+	}
+	return s.events - start
+}
+
+// Resource is a service station with a fixed number of servers and an
+// unbounded FIFO queue, e.g. a memory channel or an SMP link direction.
+// Acquire requests service for a given holding time; done runs when the
+// service completes.
+type Resource struct {
+	Name    string
+	servers int
+	busy    int
+	waiting []pending
+	// BusyTime accumulates server-occupancy (ns x servers) for utilization
+	// accounting.
+	BusyTime float64
+}
+
+type pending struct {
+	hold Time
+	done Event
+}
+
+// NewResource returns a resource with the given number of servers (> 0).
+func NewResource(name string, servers int) *Resource {
+	if servers <= 0 {
+		panic("engine: resource needs at least one server")
+	}
+	return &Resource{Name: name, servers: servers}
+}
+
+// Acquire requests one server for hold nanoseconds; when service finishes,
+// done is scheduled (it may be nil). Requests queue FIFO when all servers
+// are busy.
+func (r *Resource) Acquire(s *Sim, hold Time, done Event) {
+	if hold < 0 {
+		panic("engine: negative hold time")
+	}
+	if r.busy < r.servers {
+		r.start(s, hold, done)
+		return
+	}
+	r.waiting = append(r.waiting, pending{hold: hold, done: done})
+}
+
+func (r *Resource) start(s *Sim, hold Time, done Event) {
+	r.busy++
+	r.BusyTime += float64(hold)
+	s.After(hold, func(s *Sim) {
+		r.busy--
+		if len(r.waiting) > 0 {
+			next := r.waiting[0]
+			r.waiting = r.waiting[1:]
+			r.start(s, next.hold, next.done)
+		}
+		if done != nil {
+			done(s)
+		}
+	})
+}
+
+// QueueLen returns the number of waiting requests.
+func (r *Resource) QueueLen() int { return len(r.waiting) }
+
+// Busy returns the number of occupied servers.
+func (r *Resource) Busy() int { return r.busy }
+
+// Utilization returns the mean server occupancy over [0, now] as a
+// fraction of capacity; it returns 0 at time zero.
+func (r *Resource) Utilization(s *Sim) float64 {
+	if s.now == 0 {
+		return 0
+	}
+	return r.BusyTime / (float64(s.now) * float64(r.servers))
+}

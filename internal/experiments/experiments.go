@@ -1,0 +1,173 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation. Each runner drives the machine model, the host
+// kernels or the projections, renders the same rows/series the paper
+// reports, and records paper-vs-measured checks that cmd/p8repro turns
+// into EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// Context carries the shared inputs of a run.
+type Context struct {
+	Machine *machine.Machine
+	// Quick reduces working sets and scales so the full suite finishes
+	// in seconds (used by tests and `go test -bench`); the default
+	// full-size run is what EXPERIMENTS.md records.
+	Quick bool
+	// Threads for host-run kernels; 0 means all CPUs.
+	Threads int
+}
+
+// Check is one paper-vs-produced comparison.
+type Check struct {
+	Name string
+	Got  float64
+	Want float64 // the paper's value; 0 means shape-only (no numeric ref)
+	Tol  float64 // acceptable fraction, e.g. 0.05
+	// Min marks a lower-bound check: pass when Got >= Want (e.g. "the
+	// L4 saves more than 30 ns").
+	Min bool
+}
+
+// Pass reports whether the check holds. Shape-only checks (Want == 0,
+// not Min) are recorded observations and always pass.
+func (c Check) Pass() bool {
+	if c.Min {
+		return c.Got >= c.Want
+	}
+	if c.Want == 0 {
+		return true
+	}
+	return stats.Within(c.Got, c.Want, c.Tol)
+}
+
+// String renders the check for reports.
+func (c Check) String() string {
+	switch {
+	case c.Min:
+		status := "ok"
+		if !c.Pass() {
+			status = "MISMATCH"
+		}
+		return fmt.Sprintf("%-44s got %12.4g   want >= %8.4g   %s", c.Name, c.Got, c.Want, status)
+	case c.Want == 0:
+		return fmt.Sprintf("%-44s got %12.4g   (shape only)", c.Name, c.Got)
+	default:
+		status := "ok"
+		if !c.Pass() {
+			status = "MISMATCH"
+		}
+		return fmt.Sprintf("%-44s got %12.4g   paper %12.4g   (±%.0f%%) %s",
+			c.Name, c.Got, c.Want, c.Tol*100, status)
+	}
+}
+
+// Report is a runner's output.
+type Report struct {
+	ID     string
+	Title  string
+	Lines  []string // rendered rows/series in the paper's layout
+	Notes  []string // substitutions, calibrations, caveats
+	Checks []Check
+}
+
+// Printf appends a formatted line to the report.
+func (r *Report) Printf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Note appends a formatted note.
+func (r *Report) Note(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Checkf records a paper-vs-measured comparison.
+func (r *Report) Checkf(name string, got, want, tol float64) {
+	r.Checks = append(r.Checks, Check{Name: name, Got: got, Want: want, Tol: tol})
+}
+
+// CheckMin records a lower-bound check: got must be at least want.
+func (r *Report) CheckMin(name string, got, want float64) {
+	r.Checks = append(r.Checks, Check{Name: name, Got: got, Want: want, Min: true})
+}
+
+// CheckRatio records an order-of-magnitude comparison: got must be within
+// a factor of maxRatio of want (both directions). Used where the
+// substitution (synthetic basis, synthetic matrices) preserves scale but
+// not exact values.
+func (r *Report) CheckRatio(name string, got, want, maxRatio float64) {
+	ratio := got / want
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	r.Checks = append(r.Checks, Check{
+		Name: fmt.Sprintf("%s [got %.3g, paper %.3g, within %gx]", name, got, want, maxRatio),
+		Got:  maxRatio - ratio, Want: 0, Min: true,
+	})
+}
+
+// Passed reports whether every check passed.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass() {
+			return false
+		}
+	}
+	return true
+}
+
+// Experiment is one table or figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Context) *Report
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(*Context) *Report) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment in the paper's order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// orderOf fixes the paper's presentation order.
+func orderOf(id string) int {
+	order := []string{
+		"table1", "table2", "figure1", "figure2", "table3", "figure3",
+		"table4", "figure4", "figure5", "figure6", "figure7", "figure8",
+		"figure9", "figure10", "figure11", "figure12", "table5", "table6",
+	}
+	for i, v := range order {
+		if v == id {
+			return i
+		}
+	}
+	return len(order)
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// newReport constructs a report header.
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title}
+}

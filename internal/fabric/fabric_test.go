@@ -1,0 +1,167 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/stats"
+)
+
+func e870Net() *Network {
+	spec := arch.E870()
+	return New(spec.Topology, spec.Latency, E870Calibration())
+}
+
+func TestRouteShapes(t *testing.T) {
+	n := e870Net()
+	cases := []struct {
+		src, dst arch.ChipID
+		want     []HopKind
+	}{
+		{0, 0, nil},
+		{0, 1, []HopKind{HopX}},
+		{0, 4, []HopKind{HopA}},
+		{0, 5, []HopKind{HopA, HopX}},
+		{6, 2, []HopKind{HopA}},
+		{7, 1, []HopKind{HopA, HopX}},
+	}
+	for _, c := range cases {
+		r := n.RouteBetween(c.src, c.dst)
+		if len(r.Hops) != len(c.want) {
+			t.Errorf("route %d->%d = %v, want %v", c.src, c.dst, r.Hops, c.want)
+			continue
+		}
+		for i := range c.want {
+			if r.Hops[i] != c.want[i] {
+				t.Errorf("route %d->%d = %v, want %v", c.src, c.dst, r.Hops, c.want)
+			}
+		}
+	}
+}
+
+// TestTableIVLatencies reproduces the demand-latency column of Table IV:
+// local DRAM latency plus the modelled hop costs must land on the paper's
+// measurements exactly (the skews are calibrated to them).
+func TestTableIVLatencies(t *testing.T) {
+	spec := arch.E870()
+	n := New(spec.Topology, spec.Latency, E870Calibration())
+	want := map[arch.ChipID]float64{
+		1: 123, 2: 125, 3: 133, 4: 213, 5: 235, 6: 237, 7: 243,
+	}
+	for dst, lat := range want {
+		got := spec.Latency.LocalDRAMNs + n.HopLatencyNs(0, dst)
+		if math.Abs(got-lat) > 0.01 {
+			t.Errorf("chip0->chip%d latency = %v ns, want %v", dst, got, lat)
+		}
+	}
+	if n.HopLatencyNs(3, 3) != 0 {
+		t.Error("same-chip hop latency nonzero")
+	}
+}
+
+// TestIntraVsInterGroupLatency checks the paper's 2x observation: memory
+// latencies within a chip group are about half those between groups.
+func TestIntraVsInterGroupLatency(t *testing.T) {
+	spec := arch.E870()
+	n := New(spec.Topology, spec.Latency, E870Calibration())
+	intra := spec.Latency.LocalDRAMNs + n.HopLatencyNs(0, 1)
+	inter := spec.Latency.LocalDRAMNs + n.HopLatencyNs(0, 5)
+	ratio := inter / intra
+	if ratio < 1.7 || ratio > 2.2 {
+		t.Errorf("inter/intra latency ratio = %v, want ~2", ratio)
+	}
+}
+
+// TestPairBandwidths reproduces the Table IV bandwidth columns.
+func TestPairBandwidths(t *testing.T) {
+	n := e870Net()
+	cases := []struct {
+		src, dst arch.ChipID
+		bidir    bool
+		want     float64
+		tol      float64
+	}{
+		{0, 1, false, 30, 0.05},
+		{0, 2, false, 30, 0.05},
+		{0, 3, false, 30, 0.05},
+		{0, 1, true, 53, 0.06},
+		{0, 4, false, 45, 0.05},
+		{0, 5, false, 45, 0.05},
+		{0, 4, true, 87, 0.06},
+		{0, 5, true, 82, 0.06},
+	}
+	for _, c := range cases {
+		got := n.PairBandwidth(c.src, c.dst, c.bidir).GBps()
+		if !stats.Within(got, c.want, c.tol) {
+			t.Errorf("PairBandwidth(%d,%d,bidir=%v) = %.1f GB/s, want %v (±%v%%)",
+				c.src, c.dst, c.bidir, got, c.want, c.tol*100)
+		}
+	}
+}
+
+// TestInterGroupBeatsIntraGroup checks the paper's counter-intuitive
+// finding: measured bandwidth between chip groups exceeds bandwidth
+// within a group, because inter-group traffic can use multiple routes.
+func TestInterGroupBeatsIntraGroup(t *testing.T) {
+	n := e870Net()
+	intra := n.PairBandwidth(0, 1, false)
+	inter := n.PairBandwidth(0, 5, false)
+	if inter <= intra {
+		t.Errorf("inter-group %v <= intra-group %v; paper measures the opposite", inter, intra)
+	}
+}
+
+// TestAggregates reproduces the Table IV aggregate rows: X-bus 632 GB/s,
+// A-bus 206 GB/s (3x ratio), all-to-all 380 GB/s in between the two.
+func TestAggregates(t *testing.T) {
+	n := e870Net()
+	x := n.AggregateBandwidth(arch.XBus).GBps()
+	a := n.AggregateBandwidth(arch.ABus).GBps()
+	all := n.AllToAll().GBps()
+	if !stats.Within(x, 632, 0.02) {
+		t.Errorf("X aggregate = %.1f, want 632", x)
+	}
+	if !stats.Within(a, 206, 0.02) {
+		t.Errorf("A aggregate = %.1f, want 206", a)
+	}
+	if ratio := x / a; ratio < 2.8 || ratio > 3.3 {
+		t.Errorf("X/A ratio = %.2f, want ~3", ratio)
+	}
+	if !stats.Within(all, 380, 0.05) {
+		t.Errorf("all-to-all = %.1f, want 380", all)
+	}
+	if !(all > a && all < x) {
+		t.Errorf("all-to-all %v not between A aggregate %v and X aggregate %v", all, a, x)
+	}
+}
+
+func TestInterleavedAbsorb(t *testing.T) {
+	n := e870Net()
+	if got := n.InterleavedAbsorb().GBps(); got != 69 {
+		t.Errorf("interleaved absorb = %v, want 69", got)
+	}
+}
+
+func TestAllToAllShares(t *testing.T) {
+	n := e870Net()
+	s := n.AllToAllShares()
+	if math.Abs(s.X-0.75) > 1e-12 || math.Abs(s.A-0.5) > 1e-12 {
+		t.Errorf("shares = %+v, want X=0.75 A=0.5", s)
+	}
+}
+
+func TestPairBandwidthPanicsOnSelf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("self pair did not panic")
+		}
+	}()
+	e870Net().PairBandwidth(2, 2, false)
+}
+
+func TestHopKindString(t *testing.T) {
+	if HopX.String() != "X" || HopA.String() != "A" {
+		t.Error("HopKind strings wrong")
+	}
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// RMATConfig parameterizes the recursive-matrix graph generator. The
+// paper's experiments use Graph500 parameters (a=0.57, b=0.19, c=0.19,
+// d=0.05) with an average degree of 16 (EdgeFactor 16 for directed use,
+// or 8 mirrored edges for undirected).
+type RMATConfig struct {
+	Scale      int // 2^Scale vertices
+	EdgeFactor int // generated edges per vertex
+	A, B, C, D float64
+	Seed       uint64
+	Undirected bool // mirror each edge
+	NoSelf     bool // drop self loops
+}
+
+// DefaultRMAT returns the Graph500 parameter set at the given scale with
+// average degree 16, matching the paper's Jaccard and SpMV workloads.
+func DefaultRMAT(scale int, seed uint64) RMATConfig {
+	return RMATConfig{
+		Scale: scale, EdgeFactor: 16,
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+		Seed: seed, NoSelf: true,
+	}
+}
+
+// Validate checks the configuration.
+func (c RMATConfig) Validate() error {
+	if c.Scale < 1 || c.Scale > 31 {
+		return fmt.Errorf("graph: R-MAT scale %d out of [1,31]", c.Scale)
+	}
+	if c.EdgeFactor < 1 {
+		return fmt.Errorf("graph: edge factor %d < 1", c.EdgeFactor)
+	}
+	sum := c.A + c.B + c.C + c.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("graph: R-MAT probabilities sum to %g", sum)
+	}
+	return nil
+}
+
+// Vertices returns the vertex count 2^Scale.
+func (c RMATConfig) Vertices() int { return 1 << c.Scale }
+
+// Edges returns the number of generated edges before mirroring/dedup.
+func (c RMATConfig) Edges() int64 { return int64(c.Vertices()) * int64(c.EdgeFactor) }
+
+// RMATEdges generates the raw edge list.
+func RMATEdges(cfg RMATConfig) (src, dst []int32) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := rng.New(cfg.Seed)
+	n := cfg.Edges()
+	src = make([]int32, 0, n)
+	dst = make([]int32, 0, n)
+	for e := int64(0); e < n; e++ {
+		var i, j int32
+		for {
+			i, j = rmatOne(cfg, r)
+			if cfg.NoSelf && i == j {
+				continue
+			}
+			break
+		}
+		src = append(src, i)
+		dst = append(dst, j)
+	}
+	return src, dst
+}
+
+// rmatOne draws one edge by recursive quadrant descent.
+func rmatOne(cfg RMATConfig, r *rng.Rand) (int32, int32) {
+	var i, j int32
+	ab := cfg.A + cfg.B
+	abc := ab + cfg.C
+	for bit := 0; bit < cfg.Scale; bit++ {
+		u := r.Float64()
+		switch {
+		case u < cfg.A:
+			// top-left: no bits set
+		case u < ab:
+			j |= 1 << bit
+		case u < abc:
+			i |= 1 << bit
+		default:
+			i |= 1 << bit
+			j |= 1 << bit
+		}
+	}
+	return i, j
+}
+
+// RMATDegrees streams the generator and returns only the per-vertex
+// degree counts of the undirected multigraph (each generated edge
+// contributes to both endpoints), without materializing the edge list.
+// This is what lets the Figure 10 projection reach paper scales: the
+// degree array for scale s costs 4 * 2^s bytes while the edge list would
+// cost 8 * 16 * 2^s.
+func RMATDegrees(cfg RMATConfig) []int32 {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	deg := make([]int32, cfg.Vertices())
+	r := rng.New(cfg.Seed)
+	n := cfg.Edges()
+	for e := int64(0); e < n; e++ {
+		var i, j int32
+		for {
+			i, j = rmatOne(cfg, r)
+			if cfg.NoSelf && i == j {
+				continue
+			}
+			break
+		}
+		deg[i]++
+		deg[j]++
+	}
+	return deg
+}
+
+// RMAT generates the graph and assembles it into a deduplicated CSR
+// adjacency matrix (values all 1). With Undirected set, each edge is
+// mirrored before assembly, producing a symmetric matrix.
+func RMAT(cfg RMATConfig) *CSR {
+	src, dst := RMATEdges(cfg)
+	n := cfg.Vertices()
+	coo := &COO{Rows: n, Cols: n}
+	if cfg.Undirected {
+		coo.I = make([]int32, 0, 2*len(src))
+		coo.J = make([]int32, 0, 2*len(src))
+		coo.I = append(coo.I, src...)
+		coo.J = append(coo.J, dst...)
+		coo.I = append(coo.I, dst...)
+		coo.J = append(coo.J, src...)
+	} else {
+		coo.I, coo.J = src, dst
+	}
+	m := FromCOO(coo)
+	// Deduplicated values accumulate; reset to 1 to represent adjacency.
+	for k := range m.Vals {
+		m.Vals[k] = 1
+	}
+	return m
+}

@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// pow is math.Pow, aliased for brevity in the degree samplers.
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// MatrixKind classifies the structural family of a synthetic matrix.
+type MatrixKind int
+
+// Structural families: banded FEM-style stencils, block-structured
+// matrices with dense node blocks, uniformly random rows, and power-law
+// (scale-free) rows.
+const (
+	KindBanded MatrixKind = iota
+	KindBlocked
+	KindRandom
+	KindPowerLaw
+	KindDense
+)
+
+// String implements fmt.Stringer.
+func (k MatrixKind) String() string {
+	switch k {
+	case KindBanded:
+		return "banded"
+	case KindBlocked:
+		return "blocked"
+	case KindRandom:
+		return "random"
+	case KindPowerLaw:
+		return "power-law"
+	case KindDense:
+		return "dense"
+	default:
+		return fmt.Sprintf("MatrixKind(%d)", int(k))
+	}
+}
+
+// MatrixProfile describes a synthetic stand-in for one matrix of the
+// Figure 11 suite: the published dimensions and nonzero count of the
+// University of Florida original, plus the structural family that drives
+// SpMV behaviour. The originals are not redistributable inputs for an
+// offline reproduction; SpMV performance depends on size, nnz/row and
+// structure, which the profiles preserve.
+type MatrixProfile struct {
+	Name string
+	N    int
+	NNZ  int64
+	Kind MatrixKind
+	// BlockSize is the dense node-block edge for KindBlocked (FEM
+	// matrices couple 3-6 degrees of freedom per mesh node).
+	BlockSize int
+}
+
+// Suite returns the Figure 11 matrix set: the dense reference plus
+// representative UF matrices commonly used in SpMV studies, with their
+// published sizes and nonzero counts.
+func Suite() []MatrixProfile {
+	return []MatrixProfile{
+		{Name: "Dense", N: 4096, NNZ: 4096 * 4096, Kind: KindDense},
+		{Name: "Protein", N: 36417, NNZ: 4344765, Kind: KindBlocked, BlockSize: 3},
+		{Name: "FEM/Spheres", N: 83334, NNZ: 6010480, Kind: KindBlocked, BlockSize: 3},
+		{Name: "FEM/Cantilever", N: 62451, NNZ: 4007383, Kind: KindBlocked, BlockSize: 3},
+		{Name: "Wind Tunnel", N: 217918, NNZ: 11634424, Kind: KindBlocked, BlockSize: 3},
+		{Name: "FEM/Harbor", N: 46835, NNZ: 2374001, Kind: KindBanded},
+		{Name: "QCD", N: 49152, NNZ: 1916928, Kind: KindBanded},
+		{Name: "FEM/Ship", N: 140874, NNZ: 7813404, Kind: KindBlocked, BlockSize: 6},
+		{Name: "Economics", N: 206500, NNZ: 1273389, Kind: KindRandom},
+		{Name: "Epidemiology", N: 525825, NNZ: 2100225, Kind: KindBanded},
+		{Name: "FEM/Accelerator", N: 121192, NNZ: 2624331, Kind: KindRandom},
+		{Name: "Circuit", N: 170998, NNZ: 958936, Kind: KindPowerLaw},
+		{Name: "Webbase", N: 1000005, NNZ: 3105536, Kind: KindPowerLaw},
+	}
+}
+
+// Generate synthesizes the matrix for a profile deterministically.
+func Generate(p MatrixProfile, seed uint64) *CSR {
+	if p.N <= 0 || p.NNZ <= 0 {
+		panic(fmt.Sprintf("graph: invalid profile %+v", p))
+	}
+	switch p.Kind {
+	case KindDense:
+		return Dense(p.N)
+	case KindBanded:
+		return genBanded(p)
+	case KindBlocked:
+		return genBlocked(p, seed)
+	case KindRandom:
+		return genRandom(p, seed)
+	case KindPowerLaw:
+		return genPowerLaw(p, seed)
+	default:
+		panic(fmt.Sprintf("graph: unknown kind %v", p.Kind))
+	}
+}
+
+// genBanded lays nonzeros on a symmetric set of diagonals sized to hit
+// the target nnz/row, like FEM stencil matrices.
+func genBanded(p MatrixProfile) *CSR {
+	perRow := int(p.NNZ / int64(p.N))
+	if perRow < 1 {
+		perRow = 1
+	}
+	half := perRow / 2
+	// Spread the band: nearby diagonals plus a few distant ones for
+	// realistic cache behaviour.
+	offsets := make([]int, 0, perRow)
+	offsets = append(offsets, 0)
+	for d := 1; len(offsets) < perRow; d++ {
+		offsets = append(offsets, d)
+		if len(offsets) < perRow {
+			offsets = append(offsets, -d)
+		}
+		if d == half/2 && len(offsets) < perRow-1 {
+			// A far coupling, as in 3D meshes.
+			offsets = append(offsets, p.N/64+1, -(p.N/64 + 1))
+		}
+	}
+	coo := &COO{Rows: p.N, Cols: p.N}
+	for i := 0; i < p.N; i++ {
+		for _, off := range offsets {
+			j := i + off
+			if j >= 0 && j < p.N {
+				coo.Append(int32(i), int32(j), 1+float64((i+j)%3))
+			}
+		}
+	}
+	return FromCOO(coo)
+}
+
+// genBlocked scatters dense BlockSize x BlockSize node blocks along rows,
+// like FEM matrices with multiple degrees of freedom per node.
+func genBlocked(p MatrixProfile, seed uint64) *CSR {
+	b := p.BlockSize
+	if b < 1 {
+		b = 3
+	}
+	nodes := p.N / b
+	blocksPerRow := int(p.NNZ / int64(p.N) / int64(b))
+	if blocksPerRow < 1 {
+		blocksPerRow = 1
+	}
+	r := rng.New(seed)
+	coo := &COO{Rows: p.N, Cols: p.N}
+	for node := 0; node < nodes; node++ {
+		for blk := 0; blk < blocksPerRow; blk++ {
+			// Mostly near-diagonal coupling with occasional long range.
+			var other int
+			if r.Float64() < 0.8 {
+				span := 64
+				other = node + r.Intn(2*span+1) - span
+			} else {
+				other = r.Intn(nodes)
+			}
+			if other < 0 || other >= nodes {
+				other = node
+			}
+			for di := 0; di < b; di++ {
+				for dj := 0; dj < b; dj++ {
+					i, j := node*b+di, other*b+dj
+					if i < p.N && j < p.N {
+						coo.Append(int32(i), int32(j), 1)
+					}
+				}
+			}
+		}
+	}
+	return FromCOO(coo)
+}
+
+// genRandom scatters nonzeros uniformly.
+func genRandom(p MatrixProfile, seed uint64) *CSR {
+	r := rng.New(seed)
+	perRow := int(p.NNZ / int64(p.N))
+	if perRow < 1 {
+		perRow = 1
+	}
+	coo := &COO{Rows: p.N, Cols: p.N}
+	for i := 0; i < p.N; i++ {
+		for k := 0; k < perRow; k++ {
+			coo.Append(int32(i), int32(r.Intn(p.N)), 1)
+		}
+	}
+	return FromCOO(coo)
+}
+
+// genPowerLaw draws row degrees from a Zipf-like distribution, producing
+// the scale-free structure of web and circuit matrices.
+func genPowerLaw(p MatrixProfile, seed uint64) *CSR {
+	r := rng.New(seed)
+	avg := float64(p.NNZ) / float64(p.N)
+	// Pareto(alpha=2.5) with scale chosen so the mean equals the target
+	// nnz/row: xm = avg * (alpha-1)/alpha; clamped so one row cannot
+	// dominate the matrix.
+	const alpha = 2.5
+	xm := avg * (alpha - 1) / alpha
+	coo := &COO{Rows: p.N, Cols: p.N}
+	for i := 0; i < p.N; i++ {
+		u := 1 - r.Float64() // (0, 1]
+		deg := int(xm * pow(u, -1/alpha))
+		if deg < 1 {
+			deg = 1
+		}
+		if deg > p.N/8 {
+			deg = p.N / 8
+		}
+		for k := 0; k < deg; k++ {
+			// Preferential-ish attachment: bias columns to low indices.
+			j := int(float64(p.N) * r.Float64() * r.Float64())
+			if j >= p.N {
+				j = p.N - 1
+			}
+			coo.Append(int32(i), int32(j), 1)
+		}
+	}
+	return FromCOO(coo)
+}

@@ -1,0 +1,204 @@
+package hf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVec3(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{4, 6, 8}
+	if d := b.Sub(a); d != (Vec3{3, 4, 5}) {
+		t.Errorf("Sub = %v", d)
+	}
+	if n := a.Norm2(); n != 14 {
+		t.Errorf("Norm2 = %v", n)
+	}
+	if s := a.Scale(2); s != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", s)
+	}
+	if s := a.Add(b); s != (Vec3{5, 8, 11}) {
+		t.Errorf("Add = %v", s)
+	}
+}
+
+func TestNewBasisFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha <= 0 did not panic")
+		}
+	}()
+	NewBasisFn(Vec3{}, 0)
+}
+
+func TestAttachBasisDistribution(t *testing.T) {
+	atoms := Chain(3, 2.9)
+	m := AttachBasis("t", atoms, 10)
+	if m.NumFunctions() != 10 {
+		t.Fatalf("functions = %d", m.NumFunctions())
+	}
+	// 10 over 3 atoms: 4, 3, 3.
+	counts := map[Vec3]int{}
+	for _, b := range m.Basis {
+		counts[b.Center]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("functions on %d centers", len(counts))
+	}
+	if counts[atoms[0].Pos] != 4 || counts[atoms[1].Pos] != 3 {
+		t.Errorf("distribution = %v", counts)
+	}
+}
+
+func TestAttachBasisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("too few functions did not panic")
+		}
+	}()
+	AttachBasis("t", Chain(5, 2.9), 3)
+}
+
+func TestElectronsAndOccupation(t *testing.T) {
+	m := AttachBasis("t", Chain(4, 2.9), 8)
+	if m.NumElectrons() != 8 {
+		t.Errorf("electrons = %d, want 8 (Z=2 per atom)", m.NumElectrons())
+	}
+	if m.OccupiedOrbitals() != 4 {
+		t.Errorf("occupied = %d", m.OccupiedOrbitals())
+	}
+}
+
+func TestNuclearRepulsionTwoAtoms(t *testing.T) {
+	atoms := []Atom{
+		{Charge: 2, Pos: Vec3{}},
+		{Charge: 3, Pos: Vec3{X: 2}},
+	}
+	m := &Molecule{Atoms: atoms}
+	if got := m.NuclearRepulsion(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("E_nuc = %v, want 3", got)
+	}
+}
+
+func TestGeometryBuilders(t *testing.T) {
+	chain := Chain(10, 2.9)
+	if len(chain) != 10 {
+		t.Fatal("chain size")
+	}
+	// Chain must be extended: end-to-end distance ~ n * spacing.
+	if d := chain[9].Pos.Sub(chain[0].Pos).Norm2(); d < 600 {
+		t.Errorf("chain end-to-end^2 = %v, want ~680", d)
+	}
+
+	sheet := Sheet(16, 2.7)
+	if len(sheet) != 16 {
+		t.Fatal("sheet size")
+	}
+	for _, a := range sheet {
+		if a.Pos.Z != 0 {
+			t.Fatal("sheet not planar")
+		}
+	}
+
+	helix := Helix(20, 9, 6.5, 0.55)
+	if len(helix) != 20 {
+		t.Fatal("helix size")
+	}
+	// All on the cylinder of radius 9.
+	for _, a := range helix {
+		r := math.Hypot(a.Pos.X, a.Pos.Y)
+		if math.Abs(r-9) > 1e-9 {
+			t.Fatalf("helix radius %v", r)
+		}
+	}
+
+	glob := Globule(40, 3.1, 7)
+	if len(glob) != 40 {
+		t.Fatal("globule size")
+	}
+	for i := range glob {
+		for j := i + 1; j < len(glob); j++ {
+			if glob[i].Pos.Sub(glob[j].Pos).Norm2() < 3.1*3.1-1e-9 {
+				t.Fatalf("globule atoms %d,%d too close", i, j)
+			}
+		}
+	}
+	// Deterministic.
+	glob2 := Globule(40, 3.1, 7)
+	for i := range glob {
+		if glob[i] != glob2[i] {
+			t.Fatal("globule not deterministic")
+		}
+	}
+}
+
+func TestTableVSpecs(t *testing.T) {
+	specs := TableV()
+	if len(specs) != 5 {
+		t.Fatalf("Table V has %d systems", len(specs))
+	}
+	wantAtoms := map[string]int{
+		"alkane-842": 842, "graphene-252": 252, "5-mer": 326,
+		"1hsg-28": 122, "1hsg-38": 387,
+	}
+	wantFuncs := map[string]int{
+		"alkane-842": 6730, "graphene-252": 3204, "5-mer": 3453,
+		"1hsg-28": 1159, "1hsg-38": 3555,
+	}
+	for _, s := range specs {
+		if s.Atoms != wantAtoms[s.Name] {
+			t.Errorf("%s atoms = %d, want %d", s.Name, s.Atoms, wantAtoms[s.Name])
+		}
+		if s.Functions != wantFuncs[s.Name] {
+			t.Errorf("%s functions = %d, want %d", s.Name, s.Functions, wantFuncs[s.Name])
+		}
+		if s.PaperSpeedup < 3 || s.PaperSpeedup > 6 {
+			t.Errorf("%s speedup reference %v", s.Name, s.PaperSpeedup)
+		}
+	}
+}
+
+func TestScaledSpec(t *testing.T) {
+	full := TableV()[0] // alkane-842, 6730 functions
+	sc := full.Scaled(200)
+	if sc.Functions != 200 {
+		t.Errorf("scaled functions = %d", sc.Functions)
+	}
+	// Proportional atoms: 842 * 200/6730 ~ 25.
+	if sc.Atoms < 20 || sc.Atoms > 30 {
+		t.Errorf("scaled atoms = %d", sc.Atoms)
+	}
+	if sc.PaperERIs != full.PaperERIs {
+		t.Error("scaled spec lost paper references")
+	}
+	// No-op when already small.
+	if s2 := sc.Scaled(500); s2.Functions != 200 {
+		t.Error("Scaled should not grow")
+	}
+	// Build works.
+	m := sc.Build()
+	if m.NumFunctions() != 200 {
+		t.Errorf("built functions = %d", m.NumFunctions())
+	}
+}
+
+func TestScaledPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("maxFunctions <= 0 did not panic")
+		}
+	}()
+	TableV()[0].Scaled(0)
+}
+
+func TestShapeString(t *testing.T) {
+	want := map[Shape]string{
+		ShapeChain: "chain", ShapeSheet: "sheet",
+		ShapeHelix: "helix", ShapeGlobule: "globule",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d -> %q", int(s), s.String())
+		}
+	}
+}

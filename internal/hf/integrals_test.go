@@ -1,0 +1,171 @@
+package hf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoysF0Limits(t *testing.T) {
+	if got := BoysF0(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("F0(0) = %v, want 1", got)
+	}
+	// Small-t expansion: 1 - t/3 + t^2/10 ...
+	if got := BoysF0(1e-14); math.Abs(got-1) > 1e-12 {
+		t.Errorf("F0(eps) = %v", got)
+	}
+	// Large t: F0 ~ sqrt(pi/t)/2.
+	tBig := 100.0
+	want := 0.5 * math.Sqrt(math.Pi/tBig)
+	if got := BoysF0(tBig); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F0(100) = %v, want %v", got, want)
+	}
+}
+
+func TestBoysF0Monotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		x, y := math.Abs(a), math.Abs(b)
+		if x > y {
+			x, y = y, x
+		}
+		return BoysF0(x) >= BoysF0(y)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedSelfOverlap(t *testing.T) {
+	for _, alpha := range []float64{0.1, 1.0, 7.5} {
+		b := NewBasisFn(Vec3{}, alpha)
+		if got := Overlap(b, b); math.Abs(got-1) > 1e-12 {
+			t.Errorf("alpha=%v: <a|a> = %v, want 1", alpha, got)
+		}
+	}
+}
+
+func TestOverlapDecaysWithDistance(t *testing.T) {
+	a := NewBasisFn(Vec3{}, 1)
+	prev := 1.0
+	for _, r := range []float64{0.5, 1, 2, 4, 8} {
+		b := NewBasisFn(Vec3{X: r}, 1)
+		got := Overlap(a, b)
+		if got <= 0 || got >= prev {
+			t.Errorf("overlap at r=%v is %v, want decaying positive", r, got)
+		}
+		prev = got
+	}
+}
+
+// TestKineticHydrogenLike: for a single s Gaussian with exponent alpha,
+// <T> = 3 alpha / 2.
+func TestKineticSingleGaussian(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1.3} {
+		b := NewBasisFn(Vec3{}, alpha)
+		if got := Kinetic(b, b); math.Abs(got-1.5*alpha) > 1e-12 {
+			t.Errorf("alpha=%v: <T> = %v, want %v", alpha, got, 1.5*alpha)
+		}
+	}
+}
+
+// TestNuclearSingleGaussian: <V> for a normalized s Gaussian centred on a
+// charge Z is -Z * 2 sqrt(2 alpha / pi).
+func TestNuclearSingleGaussian(t *testing.T) {
+	alpha := 0.8
+	b := NewBasisFn(Vec3{}, alpha)
+	atoms := []Atom{{Charge: 3, Pos: Vec3{}}}
+	want := -3 * 2 * math.Sqrt(2*alpha/math.Pi)
+	if got := NuclearAttraction(b, b, atoms); math.Abs(got-want) > 1e-10 {
+		t.Errorf("<V> = %v, want %v", got, want)
+	}
+}
+
+// TestERISelfRepulsion: (aa|aa) for a normalized s Gaussian is
+// sqrt(2 alpha / pi) * 2 ... specifically 2 sqrt(alpha) sqrt(2/pi) / ...
+// use the known closed form sqrt(4 alpha / pi) * ... verified against
+// the hydrogenic value: for alpha, (aa|aa) = sqrt(2 alpha/pi) * 2/sqrt(2)
+// — rather than rely on transcription, verify via the formula's own
+// internal consistency: doubling alpha scales (aa|aa) by sqrt(2).
+func TestERIScaling(t *testing.T) {
+	a1 := NewBasisFn(Vec3{}, 1)
+	a2 := NewBasisFn(Vec3{}, 2)
+	r1 := ERI(a1, a1, a1, a1)
+	r2 := ERI(a2, a2, a2, a2)
+	if r1 <= 0 || r2 <= 0 {
+		t.Fatal("self-repulsion not positive")
+	}
+	if math.Abs(r2/r1-math.Sqrt2) > 1e-10 {
+		t.Errorf("(aa|aa) scaling = %v, want sqrt(2)", r2/r1)
+	}
+}
+
+// TestERIPermutationSymmetry: the 8-fold symmetry of real integrals.
+func TestERIPermutationSymmetry(t *testing.T) {
+	a := NewBasisFn(Vec3{X: 0.1}, 0.6)
+	b := NewBasisFn(Vec3{Y: 0.9}, 1.4)
+	c := NewBasisFn(Vec3{Z: -0.7}, 0.9)
+	d := NewBasisFn(Vec3{X: -1.1, Y: 0.3}, 2.2)
+	ref := ERI(a, b, c, d)
+	perms := []float64{
+		ERI(b, a, c, d), ERI(a, b, d, c), ERI(b, a, d, c),
+		ERI(c, d, a, b), ERI(d, c, a, b), ERI(c, d, b, a), ERI(d, c, b, a),
+	}
+	for i, v := range perms {
+		if math.Abs(v-ref) > 1e-12 {
+			t.Errorf("permutation %d: %v != %v", i, v, ref)
+		}
+	}
+}
+
+// TestSchwarzBoundHolds: |(ij|kl)| <= sqrt((ij|ij)(kl|kl)) on random
+// quartets.
+func TestSchwarzBoundHolds(t *testing.T) {
+	mol := MoleculeSpec{Name: "t", Atoms: 4, Functions: 12, Shape: ShapeChain}.Build()
+	n := mol.NumFunctions()
+	for i := 0; i < n; i += 2 {
+		for j := 0; j <= i; j += 3 {
+			for k := 0; k < n; k += 4 {
+				for l := 0; l <= k; l += 2 {
+					v := math.Abs(ERI(mol.Basis[i], mol.Basis[j], mol.Basis[k], mol.Basis[l]))
+					qij := math.Sqrt(ERI(mol.Basis[i], mol.Basis[j], mol.Basis[i], mol.Basis[j]))
+					qkl := math.Sqrt(ERI(mol.Basis[k], mol.Basis[l], mol.Basis[k], mol.Basis[l]))
+					if v > qij*qkl+1e-12 {
+						t.Fatalf("Schwarz violated at (%d%d|%d%d): %v > %v", i, j, k, l, v, qij*qkl)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOverlapMatrixSPD(t *testing.T) {
+	mol := MoleculeSpec{Name: "t", Atoms: 3, Functions: 9, Shape: ShapeChain}.Build()
+	s := mol.OverlapMatrix()
+	if s.SymmetryError() > 1e-14 {
+		t.Error("S not symmetric")
+	}
+	for i := 0; i < s.N; i++ {
+		if math.Abs(s.At(i, i)-1) > 1e-12 {
+			t.Errorf("S[%d,%d] = %v, want 1 (normalized basis)", i, i, s.At(i, i))
+		}
+	}
+}
+
+func TestCoreHamiltonianSymmetric(t *testing.T) {
+	mol := MoleculeSpec{Name: "t", Atoms: 3, Functions: 6, Shape: ShapeChain}.Build()
+	h := mol.CoreHamiltonian()
+	if h.SymmetryError() > 1e-12 {
+		t.Error("H not symmetric")
+	}
+	// Diagonal should be negative: attraction dominates for bound
+	// electrons in a reasonable basis.
+	neg := 0
+	for i := 0; i < h.N; i++ {
+		if h.At(i, i) < 0 {
+			neg++
+		}
+	}
+	if neg < h.N/2 {
+		t.Errorf("only %d of %d diagonal H elements negative", neg, h.N)
+	}
+}

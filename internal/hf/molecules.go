@@ -1,0 +1,146 @@
+package hf
+
+import "fmt"
+
+// Shape is the geometric family of a test molecule.
+type Shape int
+
+// Geometric families of the Table V systems.
+const (
+	ShapeChain Shape = iota
+	ShapeSheet
+	ShapeHelix
+	ShapeGlobule
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapeChain:
+		return "chain"
+	case ShapeSheet:
+		return "sheet"
+	case ShapeHelix:
+		return "helix"
+	case ShapeGlobule:
+		return "globule"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// MoleculeSpec identifies one Table V system: the published atom and
+// basis-function counts plus the geometry family that replaces the
+// (unavailable) real coordinates.
+type MoleculeSpec struct {
+	Name      string
+	Atoms     int
+	Functions int
+	Shape     Shape
+	Seed      uint64
+
+	// The paper's published Table V reference values for this system at
+	// screening tolerance 1e-10: surviving ERI count and storage in GB.
+	PaperERIs     float64
+	PaperMemoryGB float64
+	// Table VI reference values (seconds / iterations).
+	PaperIters   int
+	PaperHFComp  float64
+	PaperPrecomp float64
+	PaperFock    float64
+	PaperDensity float64
+	PaperTotal   float64
+	PaperSpeedup float64
+}
+
+// TableV returns the five molecular systems of Table V with their
+// published counts and the Table VI reference timings.
+func TableV() []MoleculeSpec {
+	return []MoleculeSpec{
+		{
+			Name: "alkane-842", Atoms: 842, Functions: 6730, Shape: ShapeChain, Seed: 1,
+			PaperERIs: 1.87e11, PaperMemoryGB: 1391.02,
+			PaperIters: 12, PaperHFComp: 3081.91, PaperPrecomp: 218.10,
+			PaperFock: 23.73, PaperDensity: 34.81, PaperTotal: 1013.39, PaperSpeedup: 3.04,
+		},
+		{
+			Name: "graphene-252", Atoms: 252, Functions: 3204, Shape: ShapeSheet, Seed: 2,
+			PaperERIs: 1.76e11, PaperMemoryGB: 1308.32,
+			PaperIters: 23, PaperHFComp: 4476.47, PaperPrecomp: 185.35,
+			PaperFock: 20.91, PaperDensity: 6.39, PaperTotal: 837.73, PaperSpeedup: 5.34,
+		},
+		{
+			Name: "5-mer", Atoms: 326, Functions: 3453, Shape: ShapeHelix, Seed: 3,
+			PaperERIs: 2.01e11, PaperMemoryGB: 1499.06,
+			PaperIters: 19, PaperHFComp: 4090.9, PaperPrecomp: 209.20,
+			PaperFock: 26.77, PaperDensity: 4.84, PaperTotal: 859.63, PaperSpeedup: 4.76,
+		},
+		{
+			Name: "1hsg-28", Atoms: 122, Functions: 1159, Shape: ShapeGlobule, Seed: 4,
+			PaperERIs: 1.42e10, PaperMemoryGB: 105.95,
+			PaperIters: 15, PaperHFComp: 281.61, PaperPrecomp: 18.42,
+			PaperFock: 1.78, PaperDensity: 0.30, PaperTotal: 54.65, PaperSpeedup: 5.15,
+		},
+		{
+			Name: "1hsg-38", Atoms: 387, Functions: 3555, Shape: ShapeGlobule, Seed: 5,
+			PaperERIs: 2.09e11, PaperMemoryGB: 1558.66,
+			PaperIters: 17, PaperHFComp: 4079.75, PaperPrecomp: 232.90,
+			PaperFock: 30.63, PaperDensity: 5.80, PaperTotal: 889.76, PaperSpeedup: 4.59,
+		},
+	}
+}
+
+// Geometry spacing constants in Bohr: roughly carbon-carbon scale.
+const (
+	chainSpacing = 2.5
+	sheetSpacing = 3.0
+	globuleSep   = 3.5
+)
+
+// Build instantiates the molecule: synthetic geometry of the spec's shape
+// with the published atom count, and the published number of basis
+// functions distributed evenly over atoms.
+func (s MoleculeSpec) Build() *Molecule {
+	var atoms []Atom
+	switch s.Shape {
+	case ShapeChain:
+		atoms = Chain(s.Atoms, chainSpacing)
+	case ShapeSheet:
+		atoms = Sheet(s.Atoms, sheetSpacing)
+	case ShapeHelix:
+		// A tightly coiled solenoid: ~3 Bohr along the strand, ~3.2 Bohr
+		// between turns — compact like a real oligomer, unlike a
+		// stretched spiral.
+		atoms = Helix(s.Atoms, 12.0, 3.2, 0.26)
+	case ShapeGlobule:
+		atoms = Globule(s.Atoms, globuleSep, s.Seed)
+	default:
+		panic(fmt.Sprintf("hf: unknown shape %v", s.Shape))
+	}
+	return AttachBasis(s.Name, atoms, s.Functions)
+}
+
+// Scaled returns a proportionally smaller system of the same shape and
+// functions-per-atom ratio, for running the full SCF at host scale. The
+// returned spec keeps the paper reference values of the original so
+// projections can still be compared.
+func (s MoleculeSpec) Scaled(maxFunctions int) MoleculeSpec {
+	if maxFunctions <= 0 {
+		panic("hf: maxFunctions must be positive")
+	}
+	if s.Functions <= maxFunctions {
+		return s
+	}
+	ratio := float64(maxFunctions) / float64(s.Functions)
+	out := s
+	out.Atoms = int(float64(s.Atoms) * ratio)
+	if out.Atoms < 2 {
+		out.Atoms = 2
+	}
+	out.Functions = maxFunctions
+	if out.Functions < out.Atoms {
+		out.Functions = out.Atoms
+	}
+	out.Name = fmt.Sprintf("%s/scaled-%d", s.Name, maxFunctions)
+	return out
+}

@@ -1,0 +1,80 @@
+package jaccard
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTopKSelectsBest(t *testing.T) {
+	tk := NewTopK(3)
+	sims := []float64{0.1, 0.9, 0.5, 0.7, 0.3, 0.8}
+	for i, s := range sims {
+		tk.Emit(int32(i), int32(i+100), s)
+	}
+	got := tk.Pairs()
+	if len(got) != 3 {
+		t.Fatalf("got %d pairs", len(got))
+	}
+	want := []float64{0.9, 0.8, 0.7}
+	for i := range want {
+		if got[i].Similarity != want[i] {
+			t.Errorf("pair %d similarity = %v, want %v", i, got[i].Similarity, want[i])
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	tk := NewTopK(10)
+	tk.Emit(1, 2, 0.5)
+	if got := tk.Pairs(); len(got) != 1 || got[0].I != 1 {
+		t.Errorf("pairs = %v", got)
+	}
+}
+
+func TestTopKWithAllPairs(t *testing.T) {
+	cfg := graph.DefaultRMAT(9, 11)
+	cfg.Undirected = true
+	g := graph.RMAT(cfg)
+
+	const k = 25
+	tk := NewTopK(k)
+	AllPairs(g, 8, tk.Emit)
+	top := tk.Pairs()
+	if len(top) != k {
+		t.Fatalf("collected %d pairs", len(top))
+	}
+	// Oracle: gather everything and sort.
+	var all []Pair
+	var mu sync.Mutex
+	AllPairs(g, 4, func(i, j int32, s float64) {
+		mu.Lock()
+		all = append(all, Pair{i, j, s})
+		mu.Unlock()
+	})
+	sort.Slice(all, func(a, b int) bool { return all[a].Similarity > all[b].Similarity })
+	// The collected set must match the best K similarities (pairs with
+	// equal similarity may differ).
+	for i := 0; i < k; i++ {
+		if top[i].Similarity != all[i].Similarity {
+			t.Fatalf("rank %d: got %v, oracle %v", i, top[i].Similarity, all[i].Similarity)
+		}
+	}
+	// And every collected pair must verify against the exact oracle.
+	for _, p := range top {
+		if got := Exact(g, int(p.I), int(p.J)); got != p.Similarity {
+			t.Fatalf("pair (%d,%d): stored %v, exact %v", p.I, p.J, p.Similarity, got)
+		}
+	}
+}
+
+func TestTopKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("k=0 did not panic")
+		}
+	}()
+	NewTopK(0)
+}

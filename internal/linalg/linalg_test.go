@@ -1,0 +1,244 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomSym(n int, seed uint64) *Matrix {
+	r := rng.New(seed)
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := randomSym(8, 1)
+	id := NewMatrix(8)
+	for i := 0; i < 8; i++ {
+		id.Set(i, i, 1)
+	}
+	c := NewMatrix(8)
+	MatMul(c, a, id)
+	if MaxAbsDiff(c, a) > 1e-14 {
+		t.Error("A*I != A")
+	}
+	MatMul(c, id, a)
+	if MaxAbsDiff(c, a) > 1e-14 {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := NewMatrix(2)
+	b := NewMatrix(2)
+	a.Data = []float64{1, 2, 3, 4}
+	b.Data = []float64{5, 6, 7, 8}
+	c := NewMatrix(2)
+	MatMul(c, a, b)
+	want := []float64{19, 22, 43, 50}
+	for k := range want {
+		if c.Data[k] != want[k] {
+			t.Fatalf("C = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 0, 3)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 2)
+	vals, vecs := JacobiEigen(m)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// Eigenvectors must be unit columns of the permuted identity.
+	for col := 0; col < 3; col++ {
+		var norm float64
+		for r := 0; r < 3; r++ {
+			norm += vecs.At(r, col) * vecs.At(r, col)
+		}
+		if math.Abs(norm-1) > 1e-12 {
+			t.Errorf("column %d norm %v", col, norm)
+		}
+	}
+}
+
+func TestJacobiEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := NewMatrix(2)
+	m.Data = []float64{2, 1, 1, 2}
+	vals, _ := JacobiEigen(m)
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Errorf("vals = %v, want [1 3]", vals)
+	}
+}
+
+// TestJacobiReconstruction: V diag(vals) V^T must reproduce the input.
+func TestJacobiReconstruction(t *testing.T) {
+	m := randomSym(12, 7)
+	vals, vecs := JacobiEigen(m)
+	d := NewMatrix(m.N)
+	for i, v := range vals {
+		d.Set(i, i, v)
+	}
+	tmp := NewMatrix(m.N)
+	rec := NewMatrix(m.N)
+	MatMul(tmp, vecs, d)
+	MatMul(rec, tmp, vecs.Transpose())
+	if diff := MaxAbsDiff(rec, m); diff > 1e-9 {
+		t.Errorf("reconstruction error %v", diff)
+	}
+	// Input must be untouched.
+	if m.SymmetryError() != 0 {
+		t.Error("input modified")
+	}
+}
+
+// TestJacobiOrthonormal: V^T V = I.
+func TestJacobiOrthonormal(t *testing.T) {
+	m := randomSym(10, 3)
+	_, vecs := JacobiEigen(m)
+	prod := NewMatrix(m.N)
+	MatMul(prod, vecs.Transpose(), vecs)
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-10 {
+				t.Fatalf("V^T V [%d,%d] = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+// TestJacobiTraceInvariant is a quick property: the eigenvalue sum equals
+// the trace for random symmetric matrices.
+func TestJacobiTraceInvariant(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz)%10 + 2
+		m := randomSym(n, seed)
+		vals, _ := JacobiEigen(m)
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return math.Abs(sum-m.Trace()) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJacobiPanicsOnAsymmetric(t *testing.T) {
+	m := NewMatrix(2)
+	m.Data = []float64{1, 2, 3, 4}
+	defer func() {
+		if recover() == nil {
+			t.Error("asymmetric input did not panic")
+		}
+	}()
+	JacobiEigen(m)
+}
+
+func TestSymInvSqrt(t *testing.T) {
+	// Build an SPD matrix S = B B^T + I, then check (S^-1/2)^2 S = I.
+	b := randomSym(8, 9)
+	s := NewMatrix(8)
+	MatMul(s, b, b.Transpose())
+	for i := 0; i < 8; i++ {
+		s.Add(i, i, 1)
+	}
+	x := SymInvSqrt(s)
+	xx := NewMatrix(8)
+	MatMul(xx, x, x)
+	prod := NewMatrix(8)
+	MatMul(prod, xx, s)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-8 {
+				t.Fatalf("S^-1 S [%d,%d] = %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSymInvSqrtPanicsOnSingular(t *testing.T) {
+	s := NewMatrix(3) // zero matrix: eigenvalues 0
+	defer func() {
+		if recover() == nil {
+			t.Error("singular matrix did not panic")
+		}
+	}()
+	SymInvSqrt(s)
+}
+
+func TestDensityFromOrbitals(t *testing.T) {
+	c := NewMatrix(3)
+	// First column (1,0,0): D = e1 e1^T.
+	c.Set(0, 0, 1)
+	d := DensityFromOrbitals(c, 1)
+	if d.At(0, 0) != 1 || d.Trace() != 1 {
+		t.Errorf("D = %v", d.Data)
+	}
+	// Idempotency for orthonormal orbitals: D^2 = D.
+	d2 := NewMatrix(3)
+	MatMul(d2, d, d)
+	if MaxAbsDiff(d2, d) > 1e-12 {
+		t.Error("density not idempotent")
+	}
+}
+
+func TestDensityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad nOcc did not panic")
+		}
+	}()
+	DensityFromOrbitals(NewMatrix(2), 3)
+}
+
+func TestMatrixHelpers(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 7 {
+		t.Error("Set/Add/At broken")
+	}
+	if m.SymmetryError() != 7 {
+		t.Errorf("SymmetryError = %v", m.SymmetryError())
+	}
+	cl := m.Clone()
+	cl.Set(0, 1, 0)
+	if m.At(0, 1) != 7 {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=0 did not panic")
+		}
+	}()
+	NewMatrix(0)
+}

@@ -1,0 +1,136 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randomFock builds a symmetric matrix with a clear gap after the nOcc
+// lowest eigenvalues, as a converged Fock matrix would have.
+func randomFock(n, nOcc int, seed uint64) *Matrix {
+	r := rng.New(seed)
+	// Diagonal with a gap, rotated by a random orthogonal-ish similarity
+	// built from Jacobi rotations.
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		v := -2 + 0.1*float64(i)
+		if i >= nOcc {
+			v = 1 + 0.1*float64(i)
+		}
+		m.Set(i, i, v)
+	}
+	for k := 0; k < 3*n; k++ {
+		p := r.Intn(n)
+		q := r.Intn(n)
+		if p == q {
+			continue
+		}
+		theta := r.Float64()
+		c, s := math.Cos(theta), math.Sin(theta)
+		rotate(m, NewMatrix(n), minInt(p, q), maxInt(p, q), c, s)
+	}
+	// Re-symmetrize against drift.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestPurifyMatchesEigensolver: the purified projector must equal the
+// eigensolver's density built from the lowest nOcc orbitals.
+func TestPurifyMatchesEigensolver(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		const n, nOcc = 16, 5
+		f := randomFock(n, nOcc, seed)
+		want := func() *Matrix {
+			_, vecs := JacobiEigen(f)
+			return DensityFromOrbitals(vecs, nOcc)
+		}()
+		got, err := McWeenyPurify(f, nOcc, 1e-12, 200)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if diff := MaxAbsDiff(got, want); diff > 1e-6 {
+			t.Errorf("seed %d: purified density differs from eigensolver by %v", seed, diff)
+		}
+	}
+}
+
+// TestPurifyInvariants: trace nOcc, idempotent, commutes with F.
+func TestPurifyInvariants(t *testing.T) {
+	const n, nOcc = 20, 7
+	f := randomFock(n, nOcc, 9)
+	d, err := McWeenyPurify(f, nOcc, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := d.Trace(); math.Abs(tr-nOcc) > 1e-8 {
+		t.Errorf("trace = %v, want %d", tr, nOcc)
+	}
+	d2 := NewMatrix(n)
+	MatMul(d2, d, d)
+	if diff := MaxAbsDiff(d2, d); diff > 1e-8 {
+		t.Errorf("not idempotent: %v", diff)
+	}
+	// [D, F] = 0 for a spectral projector of F.
+	df := NewMatrix(n)
+	fd := NewMatrix(n)
+	MatMul(df, d, f)
+	MatMul(fd, f, d)
+	if diff := MaxAbsDiff(df, fd); diff > 1e-6 {
+		t.Errorf("does not commute with F: %v", diff)
+	}
+}
+
+func TestPurifyEdgeCases(t *testing.T) {
+	f := randomFock(8, 3, 4)
+	// nOcc = 0: zero matrix.
+	d, err := McWeenyPurify(f, 0, 1e-10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := d.Trace(); math.Abs(tr) > 1e-8 {
+		t.Errorf("nOcc=0 trace = %v", tr)
+	}
+	// nOcc = n: identity.
+	d, err = McWeenyPurify(f, 8, 1e-10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := d.Trace(); math.Abs(tr-8) > 1e-8 {
+		t.Errorf("nOcc=n trace = %v", tr)
+	}
+	// Out of range.
+	if _, err := McWeenyPurify(f, 9, 1e-10, 100); err == nil {
+		t.Error("nOcc > n accepted")
+	}
+}
+
+func TestGershgorinBounds(t *testing.T) {
+	m := NewMatrix(3)
+	m.Data = []float64{2, 1, 0, 1, 2, 1, 0, 1, 2}
+	lo, hi := gershgorin(m)
+	vals, _ := JacobiEigen(m)
+	if vals[0] < lo-1e-12 || vals[2] > hi+1e-12 {
+		t.Errorf("eigenvalues %v outside Gershgorin [%v, %v]", vals, lo, hi)
+	}
+}

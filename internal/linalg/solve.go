@@ -1,0 +1,57 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveLinear solves the dense system A x = b by Gaussian elimination
+// with partial pivoting, destroying neither input. A is given row-major
+// with dimension n = len(b). It returns an error for singular systems.
+func SolveLinear(a []float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n*n {
+		return nil, fmt.Errorf("linalg: system is %d x %d with %d rhs entries", len(a)/n, n, n)
+	}
+	m := append([]float64(nil), a...)
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r*n+col]); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-14 {
+			return nil, fmt.Errorf("linalg: singular system (pivot %g at column %d)", best, col)
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				m[pivot*n+c], m[col*n+c] = m[col*n+c], m[pivot*n+c]
+			}
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / m[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r*n+c] -= f * m[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		sum := x[col]
+		for c := col + 1; c < n; c++ {
+			sum -= m[col*n+c] * x[c]
+		}
+		x[col] = sum / m[col*n+col]
+	}
+	return x, nil
+}

@@ -1,0 +1,94 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/stats"
+)
+
+func e870() *Machine { return New(arch.E870()) }
+
+// TestTableIVDemandLatencies reproduces the w/o-prefetching latency
+// column of Table IV.
+func TestTableIVDemandLatencies(t *testing.T) {
+	m := e870()
+	want := map[arch.ChipID]float64{
+		1: 123, 2: 125, 3: 133, 4: 213, 5: 235, 6: 237, 7: 243,
+	}
+	for dst, lat := range want {
+		if got := m.DemandLatencyNs(0, dst); math.Abs(got-lat) > 0.01 {
+			t.Errorf("chip0->chip%d = %v, want %v", dst, got, lat)
+		}
+	}
+	if got := m.DemandLatencyNs(0, 0); got != 95 {
+		t.Errorf("local = %v, want 95", got)
+	}
+}
+
+// TestTableIVPrefetchedLatencies reproduces the with-prefetching column:
+// an order-of-magnitude reduction, 12-23 ns across all chips.
+func TestTableIVPrefetchedLatencies(t *testing.T) {
+	m := e870()
+	for dst := arch.ChipID(0); dst < 8; dst++ {
+		demand := m.DemandLatencyNs(0, dst)
+		pf := m.PrefetchedLatencyNs(0, dst)
+		if pf < 11 || pf > 24 {
+			t.Errorf("prefetched latency to chip%d = %v, want 11-24 ns", dst, pf)
+		}
+		if demand/pf < 8 {
+			t.Errorf("prefetching reduced chip%d latency only %vx, want order of magnitude", dst, demand/pf)
+		}
+	}
+}
+
+// TestInterleavedLatency reproduces Table IV's interleaved row (~168 ns).
+func TestInterleavedLatency(t *testing.T) {
+	m := e870()
+	if got := m.InterleavedLatencyNs(0); !stats.Within(got, 168, 0.06) {
+		t.Errorf("interleaved latency = %v, want ~168 (±6%%)", got)
+	}
+}
+
+// TestRandomAccessSaturation reproduces Figure 4: bandwidth rises with
+// threads and streams, saturating near 500 GB/s (41% of peak read); with
+// SMT8, four lists per thread already reach the peak.
+func TestRandomAccessSaturation(t *testing.T) {
+	m := e870()
+	peak := m.RandomAccessBandwidth(8, 8).GBps()
+	if !stats.Within(peak, 500, 0.05) {
+		t.Errorf("saturated random bandwidth = %.1f, want ~500", peak)
+	}
+	if got := m.RandomAccessBandwidth(8, 4).GBps(); math.Abs(got-peak) > 1e-9 {
+		t.Errorf("SMT8 x 4 lists = %v, should already be at peak %v", got, peak)
+	}
+	if got := m.RandomAccessBandwidth(4, 8).GBps(); math.Abs(got-peak) > 1e-9 {
+		t.Errorf("SMT4 x 8 lists = %v, should already be at peak %v", got, peak)
+	}
+	if got := m.RandomAccessBandwidth(1, 1).GBps(); got > 0.2*peak {
+		t.Errorf("1 thread x 1 list = %v, too close to peak", got)
+	}
+	// Monotone in both dimensions.
+	for threads := 1; threads <= 8; threads++ {
+		prev := 0.0
+		for streams := 1; streams <= 8; streams++ {
+			got := m.RandomAccessBandwidth(threads, streams).GBps()
+			if got+1e-9 < prev {
+				t.Errorf("bandwidth decreased at threads=%d streams=%d", threads, streams)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestNewWithDifferentSystems(t *testing.T) {
+	big := New(arch.MaxPOWER8SMP())
+	if big.Spec.TotalCores() != 192 {
+		t.Error("max SMP machine wrong")
+	}
+	// Latency model still answers for the 4-group topology.
+	if big.DemandLatencyNs(0, 15) <= big.DemandLatencyNs(0, 1) {
+		t.Error("remote group latency should exceed intra-group")
+	}
+}

@@ -1,0 +1,31 @@
+package memsys
+
+import "repro/internal/stats"
+
+// E870RWEfficiency is the calibrated read:write-mix efficiency curve.
+//
+// Derivation: Table III reports the measured STREAM bandwidth at nine
+// read:write mixes. Dividing each measurement by the mechanistic link
+// bound min(readCap/f, writeCap/(1-f)) — with readCap = 1228.8 GB/s and
+// writeCap = 614.4 GB/s for the 8-socket E870 — yields the efficiency
+// anchors below. The curve has a characteristic V shape: near-pure mixes
+// run each link direction at 92-96% of raw, while balanced mixes lose
+// bandwidth to DRAM bus turnarounds and store-in L2 castout scheduling,
+// bottoming out at 73% for 1:1.
+//
+//	ratio   f      measured  bound    efficiency
+//	read    1.000  1141      1228.8   0.929
+//	16:1    0.941  1208      1305.6   0.925
+//	 8:1    0.889  1267      1382.4   0.917
+//	 4:1    0.800  1375      1536.0   0.895
+//	 2:1    0.667  1472      1843.2   0.799
+//	 1:1    0.500   894      1228.8   0.728
+//	 1:2    0.333   748       921.6   0.812
+//	 1:4    0.200   658       768.0   0.857
+//	write   0.000   589       614.4   0.959
+func E870RWEfficiency() *stats.Curve {
+	return stats.NewCurve(
+		[]float64{0, 0.200, 1.0 / 3, 0.500, 2.0 / 3, 0.800, 8.0 / 9, 16.0 / 17, 1},
+		[]float64{0.959, 0.857, 0.812, 0.728, 0.799, 0.895, 0.917, 0.925, 0.929},
+	)
+}

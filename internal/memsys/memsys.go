@@ -1,0 +1,194 @@
+// Package memsys models the POWER8 memory subsystem at steady state: the
+// Centaur read/write links with their asymmetric capacities, the
+// read:write-mix efficiency behaviour measured in Table III, the
+// per-thread/per-core sequential-stream limits behind Figure 3, and the
+// loaded-latency model behind the random-access results of Figure 4.
+//
+// The mechanistic part is bottleneck analysis: a traffic mix with read
+// share f is bounded by min(readCap/f, writeCap/(1-f)). The measured
+// system does not reach that bound uniformly — efficiency dips when both
+// link directions are active (DRAM turnaround, store-in L2 castout
+// scheduling) — so the model multiplies the bound by a calibrated
+// piecewise-linear efficiency curve anchored at the Table III
+// measurements. See efficiency.go for the anchors.
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Calibration collects the fitted constants of the memory model.
+type Calibration struct {
+	// RWEfficiency maps read share f = reads/(reads+writes) in [0,1] to
+	// the fraction of the link-bound bandwidth the system sustains.
+	RWEfficiency *stats.Curve
+
+	// PerThreadStreamGBs is the sequential bandwidth one hardware thread
+	// sustains at the optimal 2:1 mix, set by the prefetch depth and the
+	// memory latency (12 lines ahead x 128 B / ~95 ns ~= 12 GB/s).
+	PerThreadStreamGBs float64
+
+	// CoreStreamCapGBs is the per-core ceiling on sequential bandwidth
+	// (load-store unit and prefetch-machine limits); Figure 3(a) measures
+	// ~26 GB/s for a fully threaded core.
+	CoreStreamCapGBs float64
+
+	// RandomBaseLatencyNs is the unloaded latency of an isolated random
+	// read (DRAM access plus the TLB miss that almost every random access
+	// to a large footprint incurs).
+	RandomBaseLatencyNs float64
+
+	// RandomQueueNsPerLine is the added queueing delay per outstanding
+	// line system-wide; it sets the random-access bandwidth asymptote.
+	RandomQueueNsPerLine float64
+
+	// RandomPeakFraction caps random-access bandwidth as a fraction of
+	// peak read bandwidth (the paper measures 41%: banks conflict and
+	// every access moves a full line of which the benchmark uses 8 bytes
+	// of address information).
+	RandomPeakFraction float64
+}
+
+// E870Calibration returns the memory-model constants fitted to the
+// paper's Table III, Figure 3 and Figure 4.
+func E870Calibration() Calibration {
+	return Calibration{
+		RWEfficiency:         E870RWEfficiency(),
+		PerThreadStreamGBs:   12.0,
+		CoreStreamCapGBs:     26.5,
+		RandomBaseLatencyNs:  130,
+		RandomQueueNsPerLine: 0.2,
+		RandomPeakFraction:   0.41,
+	}
+}
+
+// Model is the steady-state memory-bandwidth model for a system.
+type Model struct {
+	sys   *arch.SystemSpec
+	calib Calibration
+}
+
+// New assembles the model.
+func New(sys *arch.SystemSpec, calib Calibration) *Model {
+	if calib.RWEfficiency == nil {
+		panic("memsys: calibration requires an RWEfficiency curve")
+	}
+	return &Model{sys: sys, calib: calib}
+}
+
+// Calibration returns the model's constants.
+func (m *Model) Calibration() Calibration { return m.calib }
+
+// ReadShare converts a read:write ratio to a read share f. Write-only is
+// expressed as reads=0.
+func ReadShare(reads, writes float64) float64 {
+	if reads < 0 || writes < 0 || reads+writes == 0 {
+		panic(fmt.Sprintf("memsys: invalid read:write ratio %g:%g", reads, writes))
+	}
+	return reads / (reads + writes)
+}
+
+// StreamBandwidth returns the sustained bandwidth for sequential traffic
+// with read share f spread evenly over the memory behind `chips` chips.
+func (m *Model) StreamBandwidth(f float64, chips int) units.Bandwidth {
+	if f < 0 || f > 1 {
+		panic(fmt.Sprintf("memsys: read share %g out of [0,1]", f))
+	}
+	if chips <= 0 || chips > m.sys.Topology.Chips {
+		panic(fmt.Sprintf("memsys: chip count %d out of range", chips))
+	}
+	readCap := float64(m.sys.Memory.ReadPeak()) * float64(chips)
+	writeCap := float64(m.sys.Memory.WritePeak()) * float64(chips)
+	bound := linkBound(readCap, writeCap, f)
+	return units.Bandwidth(bound * m.calib.RWEfficiency.At(f))
+}
+
+// linkBound is the mechanistic bottleneck: total traffic T with read share
+// f must satisfy T*f <= readCap and T*(1-f) <= writeCap.
+func linkBound(readCap, writeCap, f float64) float64 {
+	switch f {
+	case 0:
+		return writeCap
+	case 1:
+		return readCap
+	default:
+		r := readCap / f
+		w := writeCap / (1 - f)
+		if w < r {
+			return w
+		}
+		return r
+	}
+}
+
+// CoreStream returns the sequential bandwidth of a single core running
+// `threads` threads at the optimal 2:1 mix (Figure 3a): threads scale
+// linearly until the core's stream ceiling.
+func (m *Model) CoreStream(threads int) units.Bandwidth {
+	if threads <= 0 || threads > m.sys.Chip.ThreadsPerCore {
+		panic(fmt.Sprintf("memsys: thread count %d out of range", threads))
+	}
+	bw := float64(threads) * m.calib.PerThreadStreamGBs
+	if bw > m.calib.CoreStreamCapGBs {
+		bw = m.calib.CoreStreamCapGBs
+	}
+	return units.GBps(bw)
+}
+
+// ChipStream returns the sequential bandwidth of one chip running `cores`
+// cores x `threads` threads at read share f (Figure 3b): the sum of the
+// core limits, capped by the chip's link-bound bandwidth.
+func (m *Model) ChipStream(cores, threads int, f float64) units.Bandwidth {
+	if cores <= 0 || cores > m.sys.Chip.Cores {
+		panic(fmt.Sprintf("memsys: core count %d out of range", cores))
+	}
+	perCore := float64(m.CoreStream(threads))
+	total := perCore * float64(cores)
+	cap := float64(m.StreamBandwidth(f, 1))
+	if total > cap {
+		total = cap
+	}
+	return units.Bandwidth(total)
+}
+
+// SystemStream returns the sequential bandwidth of the whole system with
+// every core and thread active at read share f (the Table III setup).
+func (m *Model) SystemStream(f float64) units.Bandwidth {
+	chips := m.sys.Topology.Chips
+	perChip := float64(m.ChipStream(m.sys.Chip.Cores, m.sys.Chip.ThreadsPerCore, f))
+	total := perChip * float64(chips)
+	cap := float64(m.StreamBandwidth(f, chips))
+	if total > cap {
+		total = cap
+	}
+	return units.Bandwidth(total)
+}
+
+// RandomAccess returns the system bandwidth for dependent random reads
+// with `outstanding` lines in flight system-wide (Figure 4): Little's law
+// with a load-dependent latency, capped at the calibrated fraction of
+// peak read bandwidth.
+func (m *Model) RandomAccess(outstanding int) units.Bandwidth {
+	if outstanding <= 0 {
+		panic("memsys: outstanding must be positive")
+	}
+	n := float64(outstanding)
+	lat := m.calib.RandomBaseLatencyNs + n*m.calib.RandomQueueNsPerLine
+	bw := n * float64(arch.LineSize) / (lat * 1e-9)
+	cap := float64(m.sys.PeakReadBW()) * m.calib.RandomPeakFraction
+	if bw > cap {
+		bw = cap
+	}
+	return units.Bandwidth(bw)
+}
+
+// LoadedRandomLatencyNs returns the effective per-access latency implied
+// by the loaded random-access model at the given concurrency.
+func (m *Model) LoadedRandomLatencyNs(outstanding int) float64 {
+	n := float64(outstanding)
+	return m.calib.RandomBaseLatencyNs + n*m.calib.RandomQueueNsPerLine
+}

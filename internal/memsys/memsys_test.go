@@ -1,0 +1,181 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/stats"
+)
+
+func e870Model() *Model { return New(arch.E870(), E870Calibration()) }
+
+// TestTableIII reproduces every row of Table III: observed memory
+// bandwidth for nine read:write mixes, within 1%.
+func TestTableIII(t *testing.T) {
+	m := e870Model()
+	rows := []struct {
+		name          string
+		reads, writes float64
+		wantGBs       float64
+	}{
+		{"read-only", 1, 0, 1141},
+		{"16:1", 16, 1, 1208},
+		{"8:1", 8, 1, 1267},
+		{"4:1", 4, 1, 1375},
+		{"2:1", 2, 1, 1472},
+		{"1:1", 1, 1, 894},
+		{"1:2", 1, 2, 748},
+		{"1:4", 1, 4, 658},
+		{"write-only", 0, 1, 589},
+	}
+	for _, r := range rows {
+		f := ReadShare(r.reads, r.writes)
+		got := m.SystemStream(f).GBps()
+		if !stats.Within(got, r.wantGBs, 0.01) {
+			t.Errorf("%s: %.1f GB/s, want %v (±1%%)", r.name, got, r.wantGBs)
+		}
+	}
+}
+
+// TestTwoToOneIsOptimal checks the headline claim: the 2:1 read:write mix
+// maximizes bandwidth, and write-heavy mixes are worst.
+func TestTwoToOneIsOptimal(t *testing.T) {
+	m := e870Model()
+	best := m.SystemStream(2.0 / 3).GBps()
+	for _, f := range []float64{0, 0.2, 1.0 / 3, 0.5, 0.8, 8.0 / 9, 16.0 / 17, 1} {
+		if got := m.SystemStream(f).GBps(); got > best {
+			t.Errorf("read share %v gives %v > 2:1's %v", f, got, best)
+		}
+	}
+	if wo := m.SystemStream(0).GBps(); wo >= m.SystemStream(1).GBps() {
+		t.Error("write-only should be below read-only")
+	}
+}
+
+// TestPeakFraction checks the paper's 80%-of-spec observation at 2:1.
+func TestPeakFraction(t *testing.T) {
+	m := e870Model()
+	spec := arch.E870()
+	frac := m.SystemStream(2.0/3).GBps() / spec.PeakMemoryBW().GBps()
+	if frac < 0.78 || frac > 0.82 {
+		t.Errorf("2:1 achieves %.0f%% of spec peak, paper reports 80%%", frac*100)
+	}
+}
+
+// TestCoreStreamSaturation reproduces Figure 3a: single-core bandwidth
+// grows with threads and saturates around 26 GB/s.
+func TestCoreStreamSaturation(t *testing.T) {
+	m := e870Model()
+	prev := 0.0
+	for threads := 1; threads <= 8; threads++ {
+		got := m.CoreStream(threads).GBps()
+		if got < prev {
+			t.Errorf("core bandwidth decreased at %d threads", threads)
+		}
+		prev = got
+	}
+	if !stats.Within(prev, 26, 0.05) {
+		t.Errorf("saturated core bandwidth = %.1f, want ~26", prev)
+	}
+	if one := m.CoreStream(1).GBps(); one >= prev {
+		t.Error("one thread should not already saturate the core")
+	}
+}
+
+// TestChipStreamSaturation reproduces Figure 3b: full chip reaches the
+// chip's link-bound ~184-189 GB/s at 2:1.
+func TestChipStreamSaturation(t *testing.T) {
+	m := e870Model()
+	full := m.ChipStream(8, 8, 2.0/3).GBps()
+	if !stats.Within(full, 189, 0.04) {
+		t.Errorf("full chip = %.1f GB/s, want ~189 (±4%%)", full)
+	}
+	// Scaling must be monotone in cores and threads.
+	for cores := 1; cores <= 8; cores++ {
+		for threads := 1; threads <= 8; threads++ {
+			got := m.ChipStream(cores, threads, 2.0/3).GBps()
+			if got > full+1e-9 {
+				t.Errorf("%d cores x %d threads exceeds full-chip bandwidth", cores, threads)
+			}
+		}
+	}
+	if m.ChipStream(1, 8, 2.0/3).GBps() >= full/2 {
+		t.Error("single core should be well below half the chip limit")
+	}
+}
+
+// TestRandomAccess reproduces Figure 4's saturation at ~500 GB/s = 41% of
+// peak read bandwidth.
+func TestRandomAccess(t *testing.T) {
+	m := e870Model()
+	sat := m.RandomAccess(64 * 32).GBps()
+	if !stats.Within(sat, 500, 0.05) {
+		t.Errorf("saturated random bandwidth = %.1f, want ~500 (41%% of peak read)", sat)
+	}
+	prev := 0.0
+	for _, n := range []int{64, 128, 256, 512, 1024, 2048} {
+		got := m.RandomAccess(n).GBps()
+		if got < prev {
+			t.Errorf("random bandwidth decreased at %d outstanding", n)
+		}
+		prev = got
+	}
+	// Low concurrency must be far from saturation.
+	if m.RandomAccess(64).GBps() > 0.25*sat {
+		t.Error("single outstanding line per core should be far from peak")
+	}
+}
+
+func TestLoadedRandomLatencyGrows(t *testing.T) {
+	m := e870Model()
+	if m.LoadedRandomLatencyNs(2048) <= m.LoadedRandomLatencyNs(64) {
+		t.Error("loaded latency must grow with concurrency")
+	}
+}
+
+func TestReadShare(t *testing.T) {
+	if ReadShare(2, 1) != 2.0/3 || ReadShare(1, 0) != 1 || ReadShare(0, 1) != 0 {
+		t.Error("ReadShare wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := e870Model()
+	for _, fn := range []func(){
+		func() { ReadShare(0, 0) },
+		func() { ReadShare(-1, 1) },
+		func() { m.StreamBandwidth(-0.1, 8) },
+		func() { m.StreamBandwidth(0.5, 0) },
+		func() { m.StreamBandwidth(0.5, 9) },
+		func() { m.CoreStream(0) },
+		func() { m.CoreStream(9) },
+		func() { m.ChipStream(0, 4, 0.5) },
+		func() { m.ChipStream(9, 4, 0.5) },
+		func() { m.RandomAccess(0) },
+		func() { New(arch.E870(), Calibration{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestEfficiencyCurveShape checks the documented V shape: minimum near
+// f=0.5, high at the pure ends.
+func TestEfficiencyCurveShape(t *testing.T) {
+	c := E870RWEfficiency()
+	if c.At(0.5) >= c.At(0) || c.At(0.5) >= c.At(1) {
+		t.Error("efficiency should dip at balanced mixes")
+	}
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v := c.At(f)
+		if v <= 0.5 || v > 1 {
+			t.Errorf("efficiency at %v = %v out of plausible range", f, v)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/units"
+)
+
+// PlacementKind selects a NUMA allocation policy — the "low-level
+// operating system facilities" the paper uses to allocate memory on
+// specific sockets for the Table IV measurements, and the policies the
+// SpMV implementation exploits (partition-local matrices, per-socket
+// replicated vectors).
+type PlacementKind int
+
+// Placement policies.
+const (
+	// PlaceLocal homes every page on the requesting chip.
+	PlaceLocal PlacementKind = iota
+	// PlaceOnChip homes every page on one fixed chip.
+	PlaceOnChip
+	// PlaceInterleaved round-robins pages across all chips.
+	PlaceInterleaved
+)
+
+// String implements fmt.Stringer.
+func (k PlacementKind) String() string {
+	switch k {
+	case PlaceLocal:
+		return "local"
+	case PlaceOnChip:
+		return "on-chip"
+	case PlaceInterleaved:
+		return "interleaved"
+	default:
+		return fmt.Sprintf("PlacementKind(%d)", int(k))
+	}
+}
+
+// Placement is a concrete allocation policy.
+type Placement struct {
+	Kind PlacementKind
+	// Chip is the target for PlaceOnChip and the requester for
+	// PlaceLocal.
+	Chip arch.ChipID
+	// Granule is the interleave granule (page size); zero defaults to
+	// 64 KiB, the system's base page.
+	Granule units.Bytes
+	// Chips is the socket count for interleaving.
+	Chips int
+}
+
+// Local returns the default local policy for a requester.
+func Local(chip arch.ChipID) Placement {
+	return Placement{Kind: PlaceLocal, Chip: chip}
+}
+
+// OnChip pins memory to one chip.
+func OnChip(chip arch.ChipID) Placement {
+	return Placement{Kind: PlaceOnChip, Chip: chip}
+}
+
+// Interleaved spreads pages round-robin over chips.
+func Interleaved(chips int) Placement {
+	return Placement{Kind: PlaceInterleaved, Chips: chips}
+}
+
+// HomeFunc returns the address-to-home-chip mapping the machine walker
+// consumes.
+func (p Placement) HomeFunc() func(addr uint64) arch.ChipID {
+	switch p.Kind {
+	case PlaceLocal, PlaceOnChip:
+		chip := p.Chip
+		return func(uint64) arch.ChipID { return chip }
+	case PlaceInterleaved:
+		if p.Chips <= 0 {
+			panic("memsys: interleaved placement needs a chip count")
+		}
+		granule := p.Granule
+		if granule == 0 {
+			granule = 64 * units.KiB
+		}
+		g := uint64(granule)
+		n := uint64(p.Chips)
+		return func(addr uint64) arch.ChipID {
+			return arch.ChipID((addr / g) % n)
+		}
+	default:
+		panic(fmt.Sprintf("memsys: unknown placement %v", p.Kind))
+	}
+}

@@ -1,0 +1,77 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/stats"
+)
+
+// perturbedCurve scales every anchor of the efficiency curve by factor,
+// clamping at 1 (efficiency cannot exceed the link bound).
+func perturbedCurve(factor float64) *stats.Curve {
+	base := E870RWEfficiency()
+	xs := []float64{0, 0.200, 1.0 / 3, 0.500, 2.0 / 3, 0.800, 8.0 / 9, 16.0 / 17, 1}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		v := base.At(x) * factor
+		if v > 1 {
+			v = 1
+		}
+		ys[i] = v
+	}
+	return stats.NewCurve(xs, ys)
+}
+
+// TestCalibrationSensitivity: the paper's qualitative conclusions must
+// not hinge on the exact calibration anchors. With every efficiency
+// anchor perturbed by ±10%, the 2:1 mix must still win, write-only must
+// still lose, and the mechanistic link bound must still cap everything.
+func TestCalibrationSensitivity(t *testing.T) {
+	spec := arch.E870()
+	for _, factor := range []float64{0.9, 1.0, 1.1} {
+		calib := E870Calibration()
+		calib.RWEfficiency = perturbedCurve(factor)
+		m := New(spec, calib)
+
+		best := m.SystemStream(2.0 / 3).GBps()
+		for _, f := range []float64{0, 0.2, 1.0 / 3, 0.5, 0.8, 8.0 / 9, 1} {
+			got := m.SystemStream(f).GBps()
+			if got > best+1e-9 {
+				t.Errorf("factor %v: read share %v (%.0f GB/s) beats 2:1 (%.0f)", factor, f, got, best)
+			}
+			// The mechanistic bound is inviolable.
+			bound := linkBound(spec.PeakReadBW().GBps(), spec.PeakWriteBW().GBps(), f)
+			if got > bound+1e-9 {
+				t.Errorf("factor %v: share %v exceeds the link bound", factor, f)
+			}
+		}
+		if wo := m.SystemStream(0).GBps(); wo >= m.SystemStream(1).GBps() {
+			t.Errorf("factor %v: write-only not below read-only", factor)
+		}
+	}
+}
+
+// TestRandomCalibrationSensitivity: Figure 4's qualitative content
+// (rising then saturating, SMT8 x 4 lists at the ceiling) survives ±20%
+// perturbation of the loaded-latency slope.
+func TestRandomCalibrationSensitivity(t *testing.T) {
+	spec := arch.E870()
+	for _, factor := range []float64{0.8, 1.2} {
+		calib := E870Calibration()
+		calib.RandomQueueNsPerLine *= factor
+		m := New(spec, calib)
+		prev := 0.0
+		for _, n := range []int{64, 256, 1024, 2048, 4096} {
+			got := m.RandomAccess(n).GBps()
+			if got+1e-9 < prev {
+				t.Errorf("factor %v: bandwidth fell at %d outstanding", factor, n)
+			}
+			prev = got
+		}
+		cap := spec.PeakReadBW().GBps() * calib.RandomPeakFraction
+		if got := m.RandomAccess(1 << 16).GBps(); !stats.Within(got, cap, 0.001) {
+			t.Errorf("factor %v: extreme concurrency %.0f not at the %.0f ceiling", factor, got, cap)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package micro
+
+import (
+	"repro/internal/machine"
+	"repro/internal/smt"
+	"repro/internal/units"
+)
+
+// RandomPoint is one sample of the Figure 4 surface: system random-read
+// bandwidth for an SMT level and a number of concurrent lists per thread.
+type RandomPoint struct {
+	Threads   int // threads per core (SMT level)
+	Streams   int // concurrent lists per thread
+	Bandwidth units.Bandwidth
+}
+
+// Figure4 sweeps SMT levels 1..8 and 1..8 lists per thread on all cores.
+func Figure4(m *machine.Machine) []RandomPoint {
+	var out []RandomPoint
+	for t := 1; t <= m.Spec.Chip.ThreadsPerCore; t++ {
+		for s := 1; s <= 8; s++ {
+			out = append(out, RandomPoint{
+				Threads: t, Streams: s,
+				Bandwidth: m.RandomAccessBandwidth(t, s),
+			})
+		}
+	}
+	return out
+}
+
+// FMAPoint is one sample of the Figure 5 surface.
+type FMAPoint struct {
+	FMAs           int
+	Threads        int
+	FractionOfPeak float64
+}
+
+// Figure5 sweeps the FMA-loop microbenchmark: independent FMAs per loop
+// 1..16 and threads per core 1..8.
+func Figure5(m *machine.Machine) []FMAPoint {
+	chip := m.Spec.Chip
+	var out []FMAPoint
+	for t := 1; t <= chip.ThreadsPerCore; t++ {
+		for f := 1; f <= 16; f++ {
+			out = append(out, FMAPoint{
+				FMAs: f, Threads: t,
+				FractionOfPeak: smt.FractionOfPeak(chip, smt.FMAKernel{FMAs: f, Threads: t}),
+			})
+		}
+	}
+	return out
+}

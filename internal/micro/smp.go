@@ -1,0 +1,57 @@
+package micro
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// SMPPairRow is one chip-pair row of Table IV.
+type SMPPairRow struct {
+	Dst          arch.ChipID
+	DemandNs     float64 // latency w/o prefetching
+	PrefetchedNs float64 // latency w/ prefetching
+	OneDirection units.Bandwidth
+	BiDirection  units.Bandwidth
+}
+
+// SMPAggregates holds the bottom rows of Table IV.
+type SMPAggregates struct {
+	InterleavedLatNs float64
+	InterleavedBW    units.Bandwidth
+	AllToAll         units.Bandwidth
+	XAggregate       units.Bandwidth
+	AAggregate       units.Bandwidth
+}
+
+// TableIV measures every chip0<->chipN pair plus the aggregate rows.
+func TableIV(m *machine.Machine) ([]SMPPairRow, SMPAggregates) {
+	chips := m.Spec.Topology.Chips
+	rows := make([]SMPPairRow, 0, chips-1)
+	for d := 1; d < chips; d++ {
+		dst := arch.ChipID(d)
+		rows = append(rows, SMPPairRow{
+			Dst:          dst,
+			DemandNs:     m.DemandLatencyNs(0, dst),
+			PrefetchedNs: m.PrefetchedLatencyNs(0, dst),
+			OneDirection: m.Net.PairBandwidth(0, dst, false),
+			BiDirection:  m.Net.PairBandwidth(0, dst, true),
+		})
+	}
+	agg := SMPAggregates{
+		InterleavedLatNs: m.InterleavedLatencyNs(0),
+		InterleavedBW:    m.Net.InterleavedAbsorb(),
+		AllToAll:         m.Net.AllToAll(),
+		XAggregate:       m.Net.AggregateBandwidth(arch.XBus),
+		AAggregate:       m.Net.AggregateBandwidth(arch.ABus),
+	}
+	return rows, agg
+}
+
+// String renders a pair row in the paper's layout.
+func (r SMPPairRow) String() string {
+	return fmt.Sprintf("Chip0<->Chip%d  %6.0f ns  %5.1f ns  %5.1f GB/s  %5.1f GB/s",
+		r.Dst, r.DemandNs, r.PrefetchedNs, r.OneDirection.GBps(), r.BiDirection.GBps())
+}

@@ -1,0 +1,74 @@
+package micro
+
+import (
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/units"
+)
+
+// RatioRow is one row of Table III.
+type RatioRow struct {
+	Label         string
+	Reads, Writes float64
+	Bandwidth     units.Bandwidth
+}
+
+// TableIII returns the observed-bandwidth column for the paper's nine
+// read:write mixes, using all cores and threads.
+func TableIII(m *machine.Machine) []RatioRow {
+	mixes := []struct {
+		label string
+		r, w  float64
+	}{
+		{"Read Only", 1, 0},
+		{"16:1", 16, 1},
+		{"8:1", 8, 1},
+		{"4:1", 4, 1},
+		{"2:1", 2, 1},
+		{"1:1", 1, 1},
+		{"1:2", 1, 2},
+		{"1:4", 1, 4},
+		{"Write Only", 0, 1},
+	}
+	out := make([]RatioRow, len(mixes))
+	for i, mix := range mixes {
+		f := memsys.ReadShare(mix.r, mix.w)
+		out[i] = RatioRow{
+			Label: mix.label, Reads: mix.r, Writes: mix.w,
+			Bandwidth: m.Mem.SystemStream(f),
+		}
+	}
+	return out
+}
+
+// ScalePoint is one sample of the Figure 3 scaling curves.
+type ScalePoint struct {
+	Cores, Threads int
+	Bandwidth      units.Bandwidth
+}
+
+// Figure3a returns single-core bandwidth versus threads per core at the
+// optimal 2:1 mix.
+func Figure3a(m *machine.Machine) []ScalePoint {
+	tpc := m.Spec.Chip.ThreadsPerCore
+	out := make([]ScalePoint, 0, tpc)
+	for t := 1; t <= tpc; t++ {
+		out = append(out, ScalePoint{Cores: 1, Threads: t, Bandwidth: m.Mem.CoreStream(t)})
+	}
+	return out
+}
+
+// Figure3b returns single-chip bandwidth for every cores x threads
+// combination at the 2:1 mix.
+func Figure3b(m *machine.Machine) []ScalePoint {
+	var out []ScalePoint
+	for c := 1; c <= m.Spec.Chip.Cores; c++ {
+		for t := 1; t <= m.Spec.Chip.ThreadsPerCore; t++ {
+			out = append(out, ScalePoint{
+				Cores: c, Threads: t,
+				Bandwidth: m.Mem.ChipStream(c, t, 2.0/3),
+			})
+		}
+	}
+	return out
+}

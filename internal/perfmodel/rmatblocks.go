@@ -1,0 +1,92 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// BlockStats describes the expected 2D-block occupancy of an R-MAT
+// adjacency matrix: how many of the grid's blocks hold at least one
+// nonzero and the mean nonzeros per occupied block. This is the quantity
+// the paper uses to explain Figure 12's decline (R-MAT 24: ~12,000
+// elements per block; R-MAT 31: ~63, about four cache lines).
+type BlockStats struct {
+	GridBits      int     // the grid is 2^GridBits x 2^GridBits blocks
+	ExpectedNNZ   float64 // generated edges
+	OccupiedCells float64 // expected blocks with >= 1 element
+	AvgPerBlock   float64 // ExpectedNNZ / OccupiedCells
+}
+
+// RMATBlockStats computes the exact expected block occupancy
+// analytically, without generating the graph. An R-MAT edge chooses a
+// quadrant per bit; a block of the 2^d x 2^d grid is reached with
+// probability a^i b^j c^k d^l where (i,j,k,l) counts the quadrant choices
+// over the first d bits, and multinomial(d; i,j,k,l) blocks share each
+// probability. With m independent edges, a block is occupied with
+// probability 1 - (1-p)^m. The composition sum has O(d^3) terms, so even
+// scale-31 grids are instant — this is how the model reaches the scales
+// the paper ran on 4 TB of memory.
+func RMATBlockStats(cfg graph.RMATConfig, gridBits int) BlockStats {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if gridBits < 0 || gridBits > cfg.Scale {
+		panic(fmt.Sprintf("perfmodel: gridBits %d out of [0, %d]", gridBits, cfg.Scale))
+	}
+	m := float64(cfg.Edges())
+	st := BlockStats{GridBits: gridBits, ExpectedNNZ: m}
+	d := gridBits
+	// Iterate compositions i+j+k+l = d with multinomial counts via
+	// logarithms (the counts overflow int64 for d ~ 30).
+	lf := logFactorials(d)
+	for i := 0; i <= d; i++ {
+		for j := 0; j <= d-i; j++ {
+			for k := 0; k <= d-i-j; k++ {
+				l := d - i - j - k
+				logCells := lf[d] - lf[i] - lf[j] - lf[k] - lf[l]
+				logP, dead := 0.0, false
+				for _, t := range [4]struct {
+					prob  float64
+					count int
+				}{{cfg.A, i}, {cfg.B, j}, {cfg.C, k}, {cfg.D, l}} {
+					if t.count == 0 {
+						continue
+					}
+					if t.prob == 0 {
+						dead = true
+						break
+					}
+					logP += float64(t.count) * math.Log(t.prob)
+				}
+				if dead {
+					continue
+				}
+				p := math.Exp(logP)
+				st.OccupiedCells += math.Exp(logCells) * occupiedProb(p, m)
+			}
+		}
+	}
+	if st.OccupiedCells > 0 {
+		st.AvgPerBlock = m / st.OccupiedCells
+	}
+	return st
+}
+
+// occupiedProb returns 1 - (1-p)^m stably for tiny p and huge m.
+func occupiedProb(p, m float64) float64 {
+	if p >= 1 {
+		return 1
+	}
+	// (1-p)^m = exp(m log(1-p)); log1p keeps precision for small p.
+	return 1 - math.Exp(m*math.Log1p(-p))
+}
+
+func logFactorials(n int) []float64 {
+	lf := make([]float64, n+1)
+	for i := 2; i <= n; i++ {
+		lf[i] = lf[i-1] + math.Log(float64(i))
+	}
+	return lf
+}

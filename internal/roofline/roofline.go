@@ -1,0 +1,105 @@
+// Package roofline implements the roofline model of Section IV: attainable
+// performance as a function of operational intensity, bounded by peak
+// compute and peak memory bandwidth, with the POWER8-specific twist of an
+// asymmetric write-only bandwidth ceiling (Figure 9).
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/units"
+)
+
+// Model is a roofline: a compute ceiling and a bandwidth slope.
+type Model struct {
+	Name          string
+	PeakCompute   units.Rate
+	PeakBandwidth units.Bandwidth
+}
+
+// ForSystem builds the main roofline of Figure 9 from a system spec: peak
+// double precision against the sustainable (2:1 read:write) memory peak.
+func ForSystem(sys *arch.SystemSpec) Model {
+	return Model{
+		Name:          sys.Name,
+		PeakCompute:   sys.PeakDP(),
+		PeakBandwidth: sys.PeakMemoryBW(),
+	}
+}
+
+// WriteOnly builds the dashed write-only roofline of Figure 9: the same
+// compute ceiling over the write-only bandwidth, less than half of the
+// combined peak.
+func WriteOnly(sys *arch.SystemSpec) Model {
+	return Model{
+		Name:          sys.Name + " (write-only)",
+		PeakCompute:   sys.PeakDP(),
+		PeakBandwidth: sys.PeakWriteBW(),
+	}
+}
+
+// Attainable returns the performance bound at operational intensity oi
+// (FLOPs per byte of DRAM traffic): min(peak, oi x bandwidth).
+func (m Model) Attainable(oi float64) units.Rate {
+	if oi < 0 {
+		panic(fmt.Sprintf("roofline: negative operational intensity %g", oi))
+	}
+	bw := float64(m.PeakBandwidth) * oi
+	if bw < float64(m.PeakCompute) {
+		return units.Rate(bw)
+	}
+	return m.PeakCompute
+}
+
+// BalancePoint returns the operational intensity where the model turns
+// compute bound — the system balance Section IV reports as 1.2 for the
+// E870 (most systems sit at 6-7).
+func (m Model) BalancePoint() float64 {
+	return float64(m.PeakCompute) / float64(m.PeakBandwidth)
+}
+
+// MemoryBound reports whether a kernel of intensity oi is limited by
+// memory bandwidth on this model.
+func (m Model) MemoryBound(oi float64) bool { return oi < m.BalancePoint() }
+
+// Kernel is a named workload pinned at an operational intensity.
+type Kernel struct {
+	Name string
+	OI   float64
+}
+
+// ScientificKernels returns the four kernels Figure 9 places on the
+// roofline with their conventional operational intensities (Williams et
+// al.): sparse matrix-vector multiply, 7-point 3D stencil,
+// Lattice-Boltzmann MHD and 3D FFT.
+func ScientificKernels() []Kernel {
+	return []Kernel{
+		{Name: "SpMV", OI: 1.0 / 6},
+		{Name: "Stencil", OI: 0.5},
+		{Name: "LBMHD", OI: 1.0},
+		{Name: "3D FFT", OI: 1.64},
+	}
+}
+
+// Point is one sample of the roofline curve.
+type Point struct {
+	OI         float64
+	Attainable units.Rate
+}
+
+// Curve samples the roofline at n log-spaced intensities across
+// [oiMin, oiMax] for plotting; n must be at least 2 and the range valid.
+func (m Model) Curve(oiMin, oiMax float64, n int) []Point {
+	if n < 2 || oiMin <= 0 || oiMax <= oiMin {
+		panic("roofline: invalid curve parameters")
+	}
+	pts := make([]Point, n)
+	logMin, logMax := math.Log10(oiMin), math.Log10(oiMax)
+	for i := range pts {
+		oi := math.Pow(10, logMin+(logMax-logMin)*float64(i)/float64(n-1))
+		pts[i] = Point{OI: oi, Attainable: m.Attainable(oi)}
+	}
+	return pts
+}

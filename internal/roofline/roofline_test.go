@@ -1,0 +1,135 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// TestFigure9Headline verifies the Section IV numbers: 2,227 GFLOP/s and
+// 1,843 GB/s give a balance of 1.2; LBMHD at OI 1 is bounded at 1,843
+// GFLOP/s on the main roof and 614 GFLOP/s write-only.
+func TestFigure9Headline(t *testing.T) {
+	sys := arch.E870()
+	m := ForSystem(sys)
+	if !stats.Within(m.PeakCompute.GFs(), 2227, 0.001) {
+		t.Errorf("peak compute = %v", m.PeakCompute)
+	}
+	if !stats.Within(m.PeakBandwidth.GBps(), 1843, 0.001) {
+		t.Errorf("peak bandwidth = %v", m.PeakBandwidth)
+	}
+	if bp := m.BalancePoint(); math.Abs(bp-1.208) > 0.01 {
+		t.Errorf("balance point = %v, want ~1.2", bp)
+	}
+	if got := m.Attainable(1.0).GFs(); !stats.Within(got, 1843, 0.001) {
+		t.Errorf("LBMHD bound = %v GFLOP/s, want 1843 (red diamond)", got)
+	}
+	w := WriteOnly(sys)
+	if got := w.Attainable(1.0).GFs(); !stats.Within(got, 614, 0.01) {
+		t.Errorf("write-only LBMHD bound = %v, want 614 (red square)", got)
+	}
+	if w.PeakBandwidth.GBps() >= m.PeakBandwidth.GBps()/2 {
+		t.Error("write-only bandwidth should be less than half the combined peak")
+	}
+}
+
+func TestAttainablePiecewise(t *testing.T) {
+	m := Model{PeakCompute: 1000e9, PeakBandwidth: 100e9}
+	if got := m.Attainable(5).GFs(); got != 500 {
+		t.Errorf("memory-bound region: %v, want 500", got)
+	}
+	if got := m.Attainable(10).GFs(); got != 1000 {
+		t.Errorf("knee: %v, want 1000", got)
+	}
+	if got := m.Attainable(100).GFs(); got != 1000 {
+		t.Errorf("compute-bound region: %v, want 1000", got)
+	}
+	if got := m.Attainable(0).GFs(); got != 0 {
+		t.Errorf("OI 0: %v, want 0", got)
+	}
+}
+
+func TestAttainablePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative OI did not panic")
+		}
+	}()
+	Model{PeakCompute: 1, PeakBandwidth: 1}.Attainable(-1)
+}
+
+// TestKernelsAllMemoryBound checks Section IV's point: on the balanced
+// E870, even kernels up to LBMHD-like intensity sit near the bandwidth
+// roof, and all four named kernels are memory bound.
+func TestKernelsAllMemoryBound(t *testing.T) {
+	m := ForSystem(arch.E870())
+	for _, k := range ScientificKernels() {
+		if !m.MemoryBound(k.OI) && k.OI < m.BalancePoint() {
+			t.Errorf("%s: inconsistent bound classification", k.Name)
+		}
+	}
+	ks := ScientificKernels()
+	if len(ks) != 4 {
+		t.Fatalf("want 4 kernels, got %d", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i].OI <= ks[i-1].OI {
+			t.Error("kernels not in increasing OI order")
+		}
+	}
+}
+
+// TestTypicalSystemBalanceComparison verifies the paper's contrast: a
+// conventional system with balance 6-7 leaves the same kernels much
+// further below its compute peak.
+func TestTypicalSystemBalanceComparison(t *testing.T) {
+	e870 := ForSystem(arch.E870())
+	conventional := Model{PeakCompute: e870.PeakCompute, PeakBandwidth: units.BandwidthOf(e870.PeakCompute, 6.5)}
+	for _, k := range ScientificKernels() {
+		frac8 := float64(e870.Attainable(k.OI)) / float64(e870.PeakCompute)
+		fracC := float64(conventional.Attainable(k.OI)) / float64(conventional.PeakCompute)
+		if frac8 <= fracC {
+			t.Errorf("%s: E870 fraction-of-peak %v not above conventional %v", k.Name, frac8, fracC)
+		}
+	}
+}
+
+func TestCurve(t *testing.T) {
+	m := ForSystem(arch.E870())
+	pts := m.Curve(0.01, 100, 50)
+	if len(pts) != 50 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].OI != 0.01 || math.Abs(pts[49].OI-100) > 1e-9 {
+		t.Errorf("endpoints = %v, %v", pts[0].OI, pts[49].OI)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].OI <= pts[i-1].OI {
+			t.Error("OIs not increasing")
+		}
+		if pts[i].Attainable < pts[i-1].Attainable {
+			t.Error("attainable not monotone")
+		}
+	}
+}
+
+func TestCurvePanics(t *testing.T) {
+	m := ForSystem(arch.E870())
+	for _, fn := range []func(){
+		func() { m.Curve(0, 1, 10) },
+		func() { m.Curve(1, 1, 10) },
+		func() { m.Curve(0.1, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,102 @@
+// Package smt models the POWER8 core's multithreaded execution resources
+// as exercised by the FMA microbenchmark of Section III-C (Figure 5):
+// two symmetric VSX pipelines with 6-cycle FMA latency, the dynamic SMT
+// modes that split threads into two thread-sets each owning half the
+// core's resources, and the two-level VSX register file (128 architected
+// registers backed by slower renames).
+//
+// The model reproduces all four qualitative behaviours the paper reports:
+// peak requires threads x FMAs >= 12 in-flight chains; odd thread counts
+// imbalance the thread-sets; exceeding 128 registers (2 per FMA per
+// thread) degrades throughput; and large thread counts lose performance
+// through resource sharing.
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/units"
+)
+
+// FMAKernel describes the microbenchmark loop: each thread executes a loop
+// of FMAs independent instructions of the form R1 = R1*R2 + R1, so each
+// instruction forms its own dependency chain across iterations and uses
+// two VSX registers.
+type FMAKernel struct {
+	FMAs    int // independent FMA instructions per loop iteration
+	Threads int // active threads on the core
+}
+
+// RegistersUsed returns the VSX registers the kernel needs on one core:
+// two per FMA chain per thread (the paper's 12 x 2 x 6 = 144 example).
+func (k FMAKernel) RegistersUsed() int { return 2 * k.FMAs * k.Threads }
+
+// Validate checks the kernel against a chip's limits.
+func (k FMAKernel) Validate(chip arch.ChipSpec) error {
+	if k.FMAs <= 0 {
+		return fmt.Errorf("smt: FMAs per loop must be positive, got %d", k.FMAs)
+	}
+	if k.Threads <= 0 || k.Threads > chip.ThreadsPerCore {
+		return fmt.Errorf("smt: threads %d out of range [1,%d]", k.Threads, chip.ThreadsPerCore)
+	}
+	return nil
+}
+
+// Throughput returns the kernel's steady-state FMA issue rate on one core
+// in FMAs per cycle.
+//
+// Mechanics: in ST mode the single thread may use both VSX pipes; in the
+// SMT modes the threads split into two thread-sets, each restricted to
+// half the core (one pipe). A thread-set holding n threads sustains
+// min(pipes, n*FMAs/latency) FMAs per cycle — each of its n*FMAs chains
+// can issue once per 6-cycle latency. When the kernel's register demand
+// exceeds the 128 architected VSX registers, the excess lives in the
+// slower rename level and throughput scales by 128/registers.
+func Throughput(chip arch.ChipSpec, k FMAKernel) float64 {
+	if err := k.Validate(chip); err != nil {
+		panic(err)
+	}
+	lat := float64(chip.VSXLatencyCycles)
+	var rate float64
+	if arch.SMTModeFor(k.Threads) == arch.ST {
+		rate = minf(float64(chip.VSXPipes), float64(k.FMAs)/lat)
+	} else {
+		pipesPerSet := float64(chip.VSXPipes) / 2
+		for _, n := range arch.ThreadSets(k.Threads) {
+			rate += minf(pipesPerSet, float64(n*k.FMAs)/lat)
+		}
+	}
+	if regs := k.RegistersUsed(); regs > chip.ArchVSXRegs {
+		rate *= float64(chip.ArchVSXRegs) / float64(regs)
+	}
+	return rate
+}
+
+// FractionOfPeak returns the kernel's throughput relative to the core's
+// peak FMA issue rate (both pipes busy every cycle) — the y axis of
+// Figure 5.
+func FractionOfPeak(chip arch.ChipSpec, k FMAKernel) float64 {
+	return Throughput(chip, k) / float64(chip.VSXPipes)
+}
+
+// CoreGFlops converts the kernel throughput to double-precision GFLOP/s
+// for one core: each VSX FMA performs 2 ops per DP lane.
+func CoreGFlops(chip arch.ChipSpec, k FMAKernel) units.Rate {
+	flopsPerFMA := float64(chip.VSXWidthDP * 2)
+	return units.Rate(Throughput(chip, k) * flopsPerFMA * chip.ClockGHz * 1e9)
+}
+
+// MinChainsForPeak returns the minimum threads x FMAs product that
+// saturates both pipes: pipes x latency (12 on POWER8), the bound the
+// paper derives in Section III-C.
+func MinChainsForPeak(chip arch.ChipSpec) int {
+	return chip.VSXPipes * chip.VSXLatencyCycles
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

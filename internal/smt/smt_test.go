@@ -1,0 +1,152 @@
+package smt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func chip() arch.ChipSpec { return arch.POWER8(8, 4.35) }
+
+// TestPeakRequiresTwelveChains verifies the paper's Section III-C rule:
+// peak FMA throughput requires threads x FMAs >= 12 (2 pipes x 6-cycle
+// latency).
+func TestPeakRequiresTwelveChains(t *testing.T) {
+	c := chip()
+	if got := MinChainsForPeak(c); got != 12 {
+		t.Fatalf("MinChainsForPeak = %d, want 12", got)
+	}
+	// Below 12 chains: below peak.
+	for _, k := range []FMAKernel{{FMAs: 6, Threads: 1}, {FMAs: 2, Threads: 4}, {FMAs: 1, Threads: 8}} {
+		if frac := FractionOfPeak(c, k); frac >= 0.999 {
+			t.Errorf("%+v reached peak with %d chains", k, k.FMAs*k.Threads)
+		}
+	}
+	// At or above 12 chains with balanced sets and <=128 registers: peak.
+	for _, k := range []FMAKernel{{FMAs: 12, Threads: 1}, {FMAs: 6, Threads: 2}, {FMAs: 3, Threads: 4}, {FMAs: 12, Threads: 2}} {
+		if frac := FractionOfPeak(c, k); math.Abs(frac-1) > 1e-9 {
+			t.Errorf("%+v: fraction %v, want 1.0", k, frac)
+		}
+	}
+}
+
+// TestOddThreadImbalance verifies that odd thread counts lose throughput
+// to thread-set imbalance.
+func TestOddThreadImbalance(t *testing.T) {
+	c := chip()
+	// 3 threads x 2 FMAs: set A has 2 threads (4 chains), set B has 1
+	// thread (2 chains); B cannot keep its pipe full.
+	odd := FractionOfPeak(c, FMAKernel{FMAs: 2, Threads: 3})
+	even := FractionOfPeak(c, FMAKernel{FMAs: 2, Threads: 4})
+	if odd >= even {
+		t.Errorf("odd threads (%v) not below even (%v)", odd, even)
+	}
+}
+
+// TestRegisterFileDegradation verifies the two-level register file
+// behaviour: the 12-FMA kernel degrades once threads > 5 pushes the
+// register demand past 128 (12 x 2 x 6 = 144), matching Figure 5.
+func TestRegisterFileDegradation(t *testing.T) {
+	c := chip()
+	at4 := FractionOfPeak(c, FMAKernel{FMAs: 12, Threads: 4}) // 96 regs
+	at6 := FractionOfPeak(c, FMAKernel{FMAs: 12, Threads: 6}) // 144 regs
+	at8 := FractionOfPeak(c, FMAKernel{FMAs: 12, Threads: 8}) // 192 regs
+	if math.Abs(at4-1) > 1e-9 {
+		t.Errorf("12 FMAs x 4 threads = %v, want peak", at4)
+	}
+	if !(at6 < at4 && at8 < at6) {
+		t.Errorf("register degradation not monotone: %v, %v, %v", at4, at6, at8)
+	}
+	if want := 128.0 / 144; math.Abs(at6-want) > 1e-9 {
+		t.Errorf("12 FMAs x 6 threads = %v, want %v", at6, want)
+	}
+}
+
+func TestRegistersUsed(t *testing.T) {
+	k := FMAKernel{FMAs: 12, Threads: 6}
+	if got := k.RegistersUsed(); got != 144 {
+		t.Errorf("RegistersUsed = %d, want 144 (the paper's example)", got)
+	}
+}
+
+// TestSTModeUsesBothPipes verifies the single-thread mode can saturate
+// both VSX pipes given enough chains.
+func TestSTModeUsesBothPipes(t *testing.T) {
+	c := chip()
+	if got := Throughput(c, FMAKernel{FMAs: 12, Threads: 1}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("ST throughput = %v FMA/cycle, want 2", got)
+	}
+	if got := Throughput(c, FMAKernel{FMAs: 6, Threads: 1}); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ST 6-FMA throughput = %v, want 1 (latency bound)", got)
+	}
+}
+
+// TestSingleThreadFewFMAsScalesLinearly: with one chain, one FMA retires
+// every 6 cycles.
+func TestLatencyBoundScaling(t *testing.T) {
+	c := chip()
+	for f := 1; f <= 6; f++ {
+		got := Throughput(c, FMAKernel{FMAs: f, Threads: 1})
+		want := float64(f) / 6
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("FMAs=%d: throughput %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestCoreGFlops(t *testing.T) {
+	c := chip()
+	// At peak: 2 FMA/cycle x 4 flops x 4.35 GHz = 34.8 GFLOP/s per core.
+	got := CoreGFlops(c, FMAKernel{FMAs: 12, Threads: 4}).GFs()
+	if math.Abs(got-34.8) > 0.01 {
+		t.Errorf("peak core GFLOP/s = %v, want 34.8", got)
+	}
+	// 64 cores at peak reproduce the system's 2227 GFLOP/s.
+	if sys := got * 64; math.Abs(sys-2227.2) > 1 {
+		t.Errorf("system peak = %v, want 2227.2", sys)
+	}
+}
+
+// TestFigure5Grid spot-checks the full Figure 5 surface for sanity:
+// fractions in (0,1], monotone in FMAs for fixed even threads below the
+// register limit.
+func TestFigure5Grid(t *testing.T) {
+	c := chip()
+	for threads := 1; threads <= 8; threads++ {
+		prev := 0.0
+		for fmas := 1; fmas <= 12; fmas++ {
+			k := FMAKernel{FMAs: fmas, Threads: threads}
+			frac := FractionOfPeak(c, k)
+			if frac <= 0 || frac > 1+1e-9 {
+				t.Fatalf("%+v: fraction %v out of range", k, frac)
+			}
+			if k.RegistersUsed() <= c.ArchVSXRegs && threads%2 == 0 && frac+1e-9 < prev {
+				t.Errorf("%+v: fraction %v decreased from %v without register pressure", k, frac, prev)
+			}
+			prev = frac
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := chip()
+	if err := (FMAKernel{FMAs: 0, Threads: 1}).Validate(c); err == nil {
+		t.Error("zero FMAs accepted")
+	}
+	if err := (FMAKernel{FMAs: 1, Threads: 9}).Validate(c); err == nil {
+		t.Error("9 threads accepted")
+	}
+	if err := (FMAKernel{FMAs: 1, Threads: 0}).Validate(c); err == nil {
+		t.Error("0 threads accepted")
+	}
+}
+
+func TestThroughputPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid kernel did not panic")
+		}
+	}()
+	Throughput(chip(), FMAKernel{FMAs: -1, Threads: 1})
+}

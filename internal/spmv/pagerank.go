@@ -1,0 +1,66 @@
+package spmv
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// PageRank computes the PageRank vector of a directed graph given as a
+// CSR adjacency matrix (rows are sources), by power iteration over the
+// column-stochastic transition matrix — one of the graph algorithms the
+// paper names as an SpMV consumer (Section V-B). Dangling vertices
+// redistribute uniformly. It returns the ranks and the iterations used.
+func PageRank(g *graph.CSR, damping float64, tol float64, maxIters, threads int) ([]float64, int) {
+	if g.Rows != g.Cols {
+		panic(fmt.Sprintf("spmv: PageRank needs a square adjacency, got %dx%d", g.Rows, g.Cols))
+	}
+	if damping <= 0 || damping >= 1 {
+		panic(fmt.Sprintf("spmv: damping %g out of (0,1)", damping))
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	n := g.Rows
+	// Build the transpose once: rank flows along out-edges, so the
+	// update y = A^T (r / outdeg) is an SpMV with the transposed matrix.
+	at := g.Transpose()
+	outDeg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		outDeg[i] = float64(g.Degree(i))
+	}
+	r := make([]float64, n)
+	scaled := make([]float64, n)
+	y := make([]float64, n)
+	for i := range r {
+		r[i] = 1 / float64(n)
+	}
+	iters := 0
+	for iters = 1; iters <= maxIters; iters++ {
+		var dangling float64
+		for i := 0; i < n; i++ {
+			if outDeg[i] == 0 {
+				dangling += r[i]
+				scaled[i] = 0
+			} else {
+				scaled[i] = r[i] / outDeg[i]
+			}
+		}
+		CSR(y, at, scaled, threads)
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		var delta float64
+		for i := 0; i < n; i++ {
+			v := base + damping*y[i]
+			delta += math.Abs(v - r[i])
+			r[i] = v
+		}
+		if delta < tol {
+			break
+		}
+	}
+	return r, iters
+}

@@ -1,0 +1,112 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// line builds the directed path 0 -> 1 -> 2 -> ... -> n-1.
+func line(n int) *graph.CSR {
+	coo := &graph.COO{Rows: n, Cols: n}
+	for i := 0; i < n-1; i++ {
+		coo.Append(int32(i), int32(i+1), 1)
+	}
+	return graph.FromCOO(coo)
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(10, 3))
+	r, iters := PageRank(g, 0.85, 1e-12, 200, 4)
+	var sum float64
+	for _, v := range r {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+	if iters < 2 {
+		t.Errorf("converged in %d iterations", iters)
+	}
+	for i, v := range r {
+		if v <= 0 {
+			t.Fatalf("rank[%d] = %v not positive", i, v)
+		}
+	}
+}
+
+// TestPageRankChain: along a directed path, rank accumulates downstream.
+func TestPageRankChain(t *testing.T) {
+	g := line(5)
+	r, _ := PageRank(g, 0.85, 1e-14, 500, 1)
+	for i := 1; i < 5; i++ {
+		if r[i] <= r[i-1] {
+			t.Errorf("rank[%d]=%v not above rank[%d]=%v on a chain", i, r[i], i-1, r[i-1])
+		}
+	}
+}
+
+// TestPageRankUniformOnCycle: a directed cycle is symmetric, so ranks
+// are uniform.
+func TestPageRankUniformOnCycle(t *testing.T) {
+	const n = 6
+	coo := &graph.COO{Rows: n, Cols: n}
+	for i := 0; i < n; i++ {
+		coo.Append(int32(i), int32((i+1)%n), 1)
+	}
+	r, _ := PageRank(graph.FromCOO(coo), 0.85, 1e-14, 500, 2)
+	for i := 1; i < n; i++ {
+		if math.Abs(r[i]-r[0]) > 1e-10 {
+			t.Errorf("cycle ranks not uniform: %v", r)
+		}
+	}
+}
+
+// TestPageRankHub: every vertex points at vertex 0, which must dominate.
+func TestPageRankHub(t *testing.T) {
+	const n = 10
+	coo := &graph.COO{Rows: n, Cols: n}
+	for i := 1; i < n; i++ {
+		coo.Append(int32(i), 0, 1)
+	}
+	r, _ := PageRank(graph.FromCOO(coo), 0.85, 1e-14, 500, 2)
+	for i := 1; i < n; i++ {
+		if r[0] <= r[i] {
+			t.Fatalf("hub rank %v not above leaf %v", r[0], r[i])
+		}
+	}
+}
+
+func TestPageRankThreadInvariance(t *testing.T) {
+	g := graph.RMAT(graph.DefaultRMAT(9, 5))
+	r1, _ := PageRank(g, 0.85, 1e-12, 200, 1)
+	r8, _ := PageRank(g, 0.85, 1e-12, 200, 8)
+	for i := range r1 {
+		if math.Abs(r1[i]-r8[i]) > 1e-9 {
+			t.Fatalf("thread count changed ranks at %d", i)
+		}
+	}
+}
+
+func TestPageRankPanics(t *testing.T) {
+	g := line(4)
+	for _, fn := range []func(){
+		func() { PageRank(g, 0, 1e-9, 10, 1) },
+		func() { PageRank(g, 1, 1e-9, 10, 1) },
+		func() {
+			coo := &graph.COO{Rows: 2, Cols: 3}
+			coo.Append(0, 2, 1)
+			PageRank(graph.FromCOO(coo), 0.85, 1e-9, 10, 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

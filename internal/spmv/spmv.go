@@ -1,0 +1,90 @@
+// Package spmv implements the two sparse matrix-vector multiply designs
+// of Section V-B: a CSR kernel with nnz-balanced 1D row partitioning for
+// HPC matrices (Figure 11), where the paper replicates the input vector
+// per socket; and the two-scan scaled/blocked algorithm of Buono et al.
+// for scale-free graphs (Figure 12), which column-blocks a scaling pass
+// and row-blocks a reduction pass so each pass's vector chunk stays in
+// cache.
+package spmv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+	"repro/internal/units"
+)
+
+// PartitionRows returns parts+1 row boundaries that balance nonzeros:
+// partition p owns rows [bounds[p], bounds[p+1]). Mirrors the paper's
+// static 1D partitioning with per-partition nnz balancing.
+func PartitionRows(m *graph.CSR, parts int) []int {
+	if parts <= 0 {
+		panic(fmt.Sprintf("spmv: parts = %d", parts))
+	}
+	bounds := make([]int, parts+1)
+	total := m.NNZ()
+	row := 0
+	for p := 1; p < parts; p++ {
+		target := total * int64(p) / int64(parts)
+		for row < m.Rows && m.RowPtr[row] < target {
+			row++
+		}
+		bounds[p] = row
+	}
+	bounds[parts] = m.Rows
+	return bounds
+}
+
+// CSR computes y = A*x with the row-partitioned CSR kernel.
+func CSR(y []float64, m *graph.CSR, x []float64, threads int) {
+	if len(y) != m.Rows || len(x) != m.Cols {
+		panic(fmt.Sprintf("spmv: dims y=%d x=%d for %dx%d", len(y), len(x), m.Rows, m.Cols))
+	}
+	workers := stream.Parallelism(threads)
+	bounds := PartitionRows(m, workers)
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		lo, hi := bounds[p], bounds[p+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var sum float64
+				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+					sum += m.Vals[k] * x[m.ColIdx[k]]
+				}
+				y[i] = sum
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Flops returns the floating-point operations of one SpMV: 2 per nonzero.
+func Flops(m *graph.CSR) float64 { return 2 * float64(m.NNZ()) }
+
+// MeasureCSR times iters repetitions of the CSR kernel after a warmup and
+// returns the throughput.
+func MeasureCSR(m *graph.CSR, threads, iters int) units.Rate {
+	if iters <= 0 {
+		panic("spmv: iters must be positive")
+	}
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%3)
+	}
+	y := make([]float64, m.Rows)
+	CSR(y, m, x, threads) // warmup
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		CSR(y, m, x, threads)
+	}
+	sec := time.Since(start).Seconds()
+	return units.Rate(Flops(m) * float64(iters) / sec)
+}

@@ -1,0 +1,221 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// reference is a trivially correct serial SpMV.
+func reference(m *graph.CSR, x []float64) []float64 {
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		cols, vals := m.Row(i)
+		for k := range cols {
+			y[i] += vals[k] * x[cols[k]]
+		}
+	}
+	return y
+}
+
+func randomMatrix(seed uint64, n int, perRow int) *graph.CSR {
+	return graph.Generate(graph.MatrixProfile{
+		Name: "t", N: n, NNZ: int64(n * perRow), Kind: graph.KindRandom,
+	}, seed)
+}
+
+func vec(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	return x
+}
+
+func TestCSRMatchesReference(t *testing.T) {
+	for _, threads := range []int{1, 3, 8} {
+		m := randomMatrix(42, 500, 9)
+		x := vec(m.Cols)
+		want := reference(m, x)
+		y := make([]float64, m.Rows)
+		CSR(y, m, x, threads)
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-9 {
+				t.Fatalf("threads=%d: y[%d] = %v, want %v", threads, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCSRDense(t *testing.T) {
+	m := graph.Dense(32)
+	x := vec(32)
+	want := reference(m, x)
+	y := make([]float64, 32)
+	CSR(y, m, x, 4)
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-9 {
+			t.Fatalf("dense y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestCSRPanicsOnDims(t *testing.T) {
+	m := graph.Dense(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("dim mismatch did not panic")
+		}
+	}()
+	CSR(make([]float64, 3), m, make([]float64, 4), 1)
+}
+
+func TestPartitionRowsBalanced(t *testing.T) {
+	m := graph.RMAT(graph.DefaultRMAT(12, 5))
+	const parts = 8
+	bounds := PartitionRows(m, parts)
+	if bounds[0] != 0 || bounds[parts] != m.Rows {
+		t.Fatalf("bounds endpoints %v", bounds)
+	}
+	total := m.NNZ()
+	for p := 0; p < parts; p++ {
+		if bounds[p] > bounds[p+1] {
+			t.Fatalf("bounds not monotone: %v", bounds)
+		}
+		nnz := m.RowPtr[bounds[p+1]] - m.RowPtr[bounds[p]]
+		// Power-law rows make perfect balance impossible; within 3x of
+		// fair share is what nnz-balanced splitting guarantees here.
+		if float64(nnz) > 3*float64(total)/parts {
+			t.Errorf("partition %d carries %d of %d nnz", p, nnz, total)
+		}
+	}
+}
+
+func TestPartitionRowsSingle(t *testing.T) {
+	m := graph.Dense(10)
+	b := PartitionRows(m, 1)
+	if len(b) != 2 || b[0] != 0 || b[1] != 10 {
+		t.Errorf("bounds = %v", b)
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero parts did not panic")
+		}
+	}()
+	PartitionRows(graph.Dense(4), 0)
+}
+
+func TestTwoScanMatchesReference(t *testing.T) {
+	for _, blockSize := range []int{16, 100, 4096} {
+		m := graph.RMAT(graph.DefaultRMAT(10, 3))
+		ts := NewTwoScan(m, blockSize)
+		if ts.NNZ() != m.NNZ() {
+			t.Fatalf("blocking lost nonzeros: %d vs %d", ts.NNZ(), m.NNZ())
+		}
+		x := vec(m.Cols)
+		want := reference(m, x)
+		y := make([]float64, m.Rows)
+		ts.Multiply(y, x, 4)
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-9 {
+				t.Fatalf("block=%d: y[%d] = %v, want %v", blockSize, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTwoScanProperty(t *testing.T) {
+	// Property: two-scan equals reference for random small matrices and
+	// any block size.
+	f := func(seed uint64, bs uint8) bool {
+		m := randomMatrix(seed, 60, 4)
+		blockSize := int(bs)%64 + 1
+		ts := NewTwoScan(m, blockSize)
+		x := vec(m.Cols)
+		want := reference(m, x)
+		y := make([]float64, m.Rows)
+		ts.Multiply(y, x, 2)
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoScanRepeatedMultiply(t *testing.T) {
+	// Reduce must overwrite y, so repeated multiplies are stable.
+	m := randomMatrix(3, 200, 5)
+	ts := NewTwoScan(m, 64)
+	x := vec(m.Cols)
+	y1 := make([]float64, m.Rows)
+	y2 := make([]float64, m.Rows)
+	ts.Multiply(y1, x, 2)
+	ts.Multiply(y2, x, 2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("repeated multiply diverged")
+		}
+	}
+}
+
+// TestTwoScanBlockShrinkage verifies the Figure 12 mechanism: at constant
+// average degree, larger matrices have emptier blocks.
+func TestTwoScanBlockShrinkage(t *testing.T) {
+	small := NewTwoScan(graph.RMAT(graph.DefaultRMAT(10, 1)), 256)
+	large := NewTwoScan(graph.RMAT(graph.DefaultRMAT(14, 1)), 256)
+	if large.AvgBlockNNZ() >= small.AvgBlockNNZ() {
+		t.Errorf("avg block nnz grew with scale: %v -> %v",
+			small.AvgBlockNNZ(), large.AvgBlockNNZ())
+	}
+}
+
+func TestTwoScanPanics(t *testing.T) {
+	m := graph.Dense(8)
+	ts := NewTwoScan(m, 4)
+	for _, fn := range []func(){
+		func() { NewTwoScan(m, 0) },
+		func() { ts.Scale(make([]float64, 3), 1) },
+		func() { ts.Reduce(make([]float64, 3), 1) },
+		func() { MeasureTwoScan(ts, 1, 0) },
+		func() { MeasureCSR(m, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMeasureCSRPositive(t *testing.T) {
+	m := graph.Dense(128)
+	if rate := MeasureCSR(m, 0, 2); rate.GFs() <= 0 {
+		t.Errorf("rate = %v", rate)
+	}
+}
+
+func TestMeasureTwoScanPositive(t *testing.T) {
+	ts := NewTwoScan(graph.Dense(128), 64)
+	if rate := MeasureTwoScan(ts, 0, 2); rate.GFs() <= 0 {
+		t.Errorf("rate = %v", rate)
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if got := Flops(graph.Dense(10)); got != 200 {
+		t.Errorf("Flops = %v", got)
+	}
+}

@@ -1,0 +1,154 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics, monotone piecewise-linear curves used
+// for calibrated efficiency profiles, and geometric means for reporting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, which must all be positive.
+// It returns 0 for an empty slice.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %g", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator),
+// or 0 when len(xs) < 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Curve is a piecewise-linear function defined by sorted breakpoints. The
+// machine model uses curves for calibrated efficiency profiles: the
+// breakpoints are measurement anchors, and queries interpolate between
+// them. Outside the breakpoint range the curve is clamped to the endpoint
+// values (efficiencies do not extrapolate).
+type Curve struct {
+	xs, ys []float64
+}
+
+// NewCurve builds a curve from breakpoint pairs. xs must be strictly
+// increasing and the same length as ys; NewCurve panics otherwise so that
+// malformed calibration tables fail loudly at construction.
+func NewCurve(xs, ys []float64) *Curve {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: NewCurve needs equal-length, non-empty breakpoints")
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			panic(fmt.Sprintf("stats: NewCurve xs not strictly increasing at %d", i))
+		}
+	}
+	return &Curve{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+}
+
+// At evaluates the curve at x with clamping at both ends.
+func (c *Curve) At(x float64) float64 {
+	n := len(c.xs)
+	if x <= c.xs[0] {
+		return c.ys[0]
+	}
+	if x >= c.xs[n-1] {
+		return c.ys[n-1]
+	}
+	i := sort.SearchFloat64s(c.xs, x)
+	// xs[i-1] < x <= xs[i] after the boundary checks above.
+	x0, x1 := c.xs[i-1], c.xs[i]
+	y0, y1 := c.ys[i-1], c.ys[i]
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// Within reports whether got is within frac (e.g. 0.1 = 10%) of want.
+// It treats want == 0 specially, requiring got == 0.
+func Within(got, want, frac float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want) <= math.Abs(want)*frac
+}

@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// HostChase measures the host machine's own dependent-load latency — the
+// real lmbench lat_mem_rd equivalent the paper runs on the E870. It
+// builds a random single-cycle pointer chain over `bytes` of memory with
+// one pointer per 128-byte line (Sattolo's algorithm, so the chain
+// visits every line exactly once per lap) and times `accesses` dependent
+// loads after one warm lap.
+//
+// This measures the HOST, not the modelled POWER8: it exists so the
+// repository carries a genuine executable microbenchmark of the paper's
+// methodology, and so tests can confirm the cache-vs-DRAM latency
+// ordering on whatever machine runs them.
+func HostChase(bytes int64, accesses int, seed uint64) (nsPerAccess float64) {
+	const stride = 16 // int64 words per 128-byte line
+	lines := int(bytes / 128)
+	if lines < 2 {
+		panic(fmt.Sprintf("stream: working set %d too small", bytes))
+	}
+	if accesses <= 0 {
+		panic("stream: accesses must be positive")
+	}
+	arr := make([]int64, lines*stride)
+	perm := make([]int32, lines)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	r := rng.New(seed)
+	for i := lines - 1; i > 0; i-- {
+		j := r.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i < lines; i++ {
+		arr[i*stride] = int64(perm[i]) * stride
+	}
+
+	// Warm lap.
+	p := int64(0)
+	for i := 0; i < lines; i++ {
+		p = arr[p]
+	}
+	sink := p
+
+	p = 0
+	start := time.Now()
+	for i := 0; i < accesses; i++ {
+		p = arr[p]
+	}
+	elapsed := time.Since(start)
+	sink += p
+	if sink == -1 {
+		// Impossible (indices are non-negative); defeats dead-code
+		// elimination of the chase.
+		panic("unreachable")
+	}
+	return float64(elapsed.Nanoseconds()) / float64(accesses)
+}

@@ -1,0 +1,213 @@
+// Package stream implements the modified STREAM benchmark of Section
+// III-A as real, host-executable kernels: the four classic STREAM
+// operations plus the ratio kernel the paper uses to sweep read:write
+// mixes (Table III). On the paper's hardware these kernels measured the
+// E870's Centaur links; here they both exercise the host and validate the
+// kernel structure the analytic model assumes.
+//
+// Kernels are parallelized over goroutines with a static 1D partition,
+// mirroring the paper's one-thread-per-hardware-thread OpenMP setup.
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Parallelism returns the worker count used when threads <= 0: one per
+// available CPU.
+func Parallelism(threads int) int {
+	if threads > 0 {
+		return threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelRange splits [0, n) into one contiguous chunk per worker and
+// runs body(lo, hi) concurrently.
+func parallelRange(n, workers int, body func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Copy performs c[i] = a[i].
+func Copy(c, a []float64, threads int) {
+	checkLen(len(c), len(a))
+	parallelRange(len(a), Parallelism(threads), func(lo, hi int) {
+		copy(c[lo:hi], a[lo:hi])
+	})
+}
+
+// Scale performs b[i] = s * c[i].
+func Scale(b, c []float64, s float64, threads int) {
+	checkLen(len(b), len(c))
+	parallelRange(len(c), Parallelism(threads), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b[i] = s * c[i]
+		}
+	})
+}
+
+// Add performs c[i] = a[i] + b[i].
+func Add(c, a, b []float64, threads int) {
+	checkLen(len(c), len(a))
+	checkLen(len(c), len(b))
+	parallelRange(len(a), Parallelism(threads), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c[i] = a[i] + b[i]
+		}
+	})
+}
+
+// Triad performs a[i] = b[i] + s*c[i].
+func Triad(a, b, c []float64, s float64, threads int) {
+	checkLen(len(a), len(b))
+	checkLen(len(a), len(c))
+	parallelRange(len(a), Parallelism(threads), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = b[i] + s*c[i]
+		}
+	})
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("stream: mismatched lengths %d and %d", a, b))
+	}
+}
+
+// RatioKernel is the paper's modified STREAM: each element step reads
+// from Reads source arrays and writes to Writes destination arrays,
+// giving a reads:writes byte ratio of Reads:Writes. Reads+Writes must be
+// positive; Reads == 0 degenerates to a fill.
+type RatioKernel struct {
+	Reads  int
+	Writes int
+	N      int // elements per array
+
+	src [][]float64
+	dst [][]float64
+
+	// sink absorbs read-only results so the work cannot be elided.
+	sinkMu sync.Mutex
+	sink   float64
+}
+
+// NewRatioKernel allocates the arrays for an r:w kernel of n elements.
+func NewRatioKernel(reads, writes, n int) *RatioKernel {
+	if reads < 0 || writes < 0 || reads+writes == 0 || n <= 0 {
+		panic(fmt.Sprintf("stream: invalid ratio kernel %d:%d n=%d", reads, writes, n))
+	}
+	k := &RatioKernel{Reads: reads, Writes: writes, N: n}
+	for i := 0; i < reads; i++ {
+		a := make([]float64, n)
+		for j := range a {
+			a[j] = float64(i + j%7)
+		}
+		k.src = append(k.src, a)
+	}
+	for i := 0; i < writes; i++ {
+		k.dst = append(k.dst, make([]float64, n))
+	}
+	return k
+}
+
+// Step runs one pass: every destination receives the sum of all sources
+// (or the loop index when there are no sources); a pure-read kernel folds
+// its sums into an internal sink so the loads cannot be elided.
+func (k *RatioKernel) Step(threads int) {
+	parallelRange(k.N, Parallelism(threads), func(lo, hi int) {
+		var local float64
+		for i := lo; i < hi; i++ {
+			var s float64
+			for _, a := range k.src {
+				s += a[i]
+			}
+			if len(k.src) == 0 {
+				s = float64(i)
+			}
+			if len(k.dst) == 0 {
+				local += s
+				continue
+			}
+			for _, d := range k.dst {
+				d[i] = s
+			}
+		}
+		if len(k.dst) == 0 {
+			k.sinkMu.Lock()
+			k.sink += local
+			k.sinkMu.Unlock()
+		}
+	})
+}
+
+// BytesPerStep returns the bytes moved per pass: 8 per element per array
+// touched.
+func (k *RatioKernel) BytesPerStep() units.Bytes {
+	return units.Bytes((k.Reads + k.Writes) * k.N * 8)
+}
+
+// ReadShare returns the fraction of traffic that is reads.
+func (k *RatioKernel) ReadShare() float64 {
+	return float64(k.Reads) / float64(k.Reads+k.Writes)
+}
+
+// Checksum returns the sum of the first destination (or source) array,
+// letting tests confirm the kernel actually computed.
+func (k *RatioKernel) Checksum() float64 {
+	var arr []float64
+	if len(k.dst) > 0 {
+		arr = k.dst[0]
+	} else {
+		arr = k.src[0]
+	}
+	var s float64
+	for _, v := range arr {
+		s += v
+	}
+	return s
+}
+
+// Measure runs the kernel for iters timed passes after one warmup pass
+// and returns the sustained bandwidth.
+func (k *RatioKernel) Measure(threads, iters int) units.Bandwidth {
+	if iters <= 0 {
+		panic("stream: iters must be positive")
+	}
+	k.Step(threads) // warmup
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		k.Step(threads)
+	}
+	elapsed := time.Since(start).Seconds()
+	total := float64(k.BytesPerStep()) * float64(iters)
+	return units.Bandwidth(total / elapsed)
+}

@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"testing"
+)
+
+func seq(n int) []float64 {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	return a
+}
+
+func TestCopy(t *testing.T) {
+	for _, threads := range []int{1, 3, 8} {
+		a := seq(1000)
+		c := make([]float64, 1000)
+		Copy(c, a, threads)
+		for i := range c {
+			if c[i] != a[i] {
+				t.Fatalf("threads=%d: c[%d] = %v", threads, i, c[i])
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := seq(100)
+	b := make([]float64, 100)
+	Scale(b, c, 3, 4)
+	for i := range b {
+		if b[i] != 3*float64(i) {
+			t.Fatalf("b[%d] = %v", i, b[i])
+		}
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a, b := seq(100), seq(100)
+	c := make([]float64, 100)
+	Add(c, a, b, 4)
+	for i := range c {
+		if c[i] != 2*float64(i) {
+			t.Fatalf("c[%d] = %v", i, c[i])
+		}
+	}
+}
+
+func TestTriad(t *testing.T) {
+	b, c := seq(100), seq(100)
+	a := make([]float64, 100)
+	Triad(a, b, c, 2, 4)
+	for i := range a {
+		if a[i] != 3*float64(i) {
+			t.Fatalf("a[%d] = %v", i, a[i])
+		}
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	Copy(make([]float64, 5), make([]float64, 6), 1)
+}
+
+func TestParallelRangeSmallN(t *testing.T) {
+	// More workers than elements must not lose or duplicate work.
+	hit := make([]int, 3)
+	parallelRange(3, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hit[i]++
+		}
+	})
+	for i, h := range hit {
+		if h != 1 {
+			t.Errorf("element %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestRatioKernelCorrectness(t *testing.T) {
+	k := NewRatioKernel(2, 1, 64)
+	k.Step(4)
+	// dst[0][i] must equal src[0][i] + src[1][i].
+	for i := 0; i < 64; i++ {
+		want := k.src[0][i] + k.src[1][i]
+		if k.dst[0][i] != want {
+			t.Fatalf("dst[%d] = %v, want %v", i, k.dst[0][i], want)
+		}
+	}
+	if k.Checksum() == 0 {
+		t.Error("checksum zero")
+	}
+}
+
+func TestRatioKernelWriteOnly(t *testing.T) {
+	k := NewRatioKernel(0, 2, 32)
+	k.Step(2)
+	for i := 0; i < 32; i++ {
+		if k.dst[1][i] != float64(i) {
+			t.Fatalf("write-only dst[%d] = %v", i, k.dst[1][i])
+		}
+	}
+	if k.ReadShare() != 0 {
+		t.Error("read share of write-only kernel not 0")
+	}
+}
+
+func TestRatioKernelReadOnly(t *testing.T) {
+	k := NewRatioKernel(3, 0, 32)
+	k.Step(2)
+	if k.sink == 0 {
+		t.Error("read-only kernel left sink untouched; loads may be elided")
+	}
+	if k.ReadShare() != 1 {
+		t.Error("read share of read-only kernel not 1")
+	}
+}
+
+func TestRatioKernelAccounting(t *testing.T) {
+	k := NewRatioKernel(2, 1, 1000)
+	if got := int64(k.BytesPerStep()); got != 3*1000*8 {
+		t.Errorf("BytesPerStep = %d", got)
+	}
+	if k.ReadShare() != 2.0/3 {
+		t.Errorf("ReadShare = %v", k.ReadShare())
+	}
+}
+
+func TestRatioKernelMeasure(t *testing.T) {
+	k := NewRatioKernel(2, 1, 1<<16)
+	bw := k.Measure(0, 3)
+	if bw.GBps() <= 0 {
+		t.Errorf("measured bandwidth %v", bw)
+	}
+}
+
+func TestRatioKernelPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRatioKernel(0, 0, 10) },
+		func() { NewRatioKernel(-1, 1, 10) },
+		func() { NewRatioKernel(1, -1, 10) },
+		func() { NewRatioKernel(1, 1, 0) },
+		func() { NewRatioKernel(1, 1, 8).Measure(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHostChaseOrdering: on any real machine, a cache-resident chase is
+// much faster than a DRAM-resident one.
+func TestHostChaseOrdering(t *testing.T) {
+	small := HostChase(16*1024, 200000, 1) // L1-resident
+	large := HostChase(128<<20, 200000, 1) // beyond any host LLC here
+	if small <= 0 || large <= 0 {
+		t.Fatalf("non-positive latencies: %v, %v", small, large)
+	}
+	if large < 2*small {
+		t.Errorf("DRAM chase (%.1f ns) not clearly slower than L1 chase (%.1f ns)", large, small)
+	}
+}
+
+func TestHostChasePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { HostChase(128, 10, 1) },
+		func() { HostChase(1<<20, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	if Parallelism(4) != 4 {
+		t.Error("explicit threads not respected")
+	}
+	if Parallelism(0) < 1 {
+		t.Error("default parallelism < 1")
+	}
+}

@@ -1,0 +1,62 @@
+package power8
+
+// Model-layer facade: roofline analysis, E870-scale projections and the
+// design-choice ablation studies, re-exported for downstream users.
+
+import (
+	"repro/internal/ablation"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/roofline"
+)
+
+// Roofline is the Section IV performance model.
+type Roofline = roofline.Model
+
+// RooflineKernel is a named workload at an operational intensity.
+type RooflineKernel = roofline.Kernel
+
+// RooflineFor builds the main roofline of Figure 9 for a system.
+func RooflineFor(spec *SystemSpec) Roofline { return roofline.ForSystem(spec) }
+
+// WriteOnlyRoofline builds the dashed write-only ceiling of Figure 9.
+func WriteOnlyRoofline(spec *SystemSpec) Roofline { return roofline.WriteOnly(spec) }
+
+// RooflineKernels returns the four Figure 9 kernels (SpMV, Stencil,
+// LBMHD, 3D FFT) at their conventional intensities.
+func RooflineKernels() []RooflineKernel { return roofline.ScientificKernels() }
+
+// MeasureStencil runs the executable 7-point 3D stencil (one of the
+// Figure 9 kernels) on the host at grid edge n and returns its rate.
+func MeasureStencil(n, threads, iters int) Rate { return kernels.MeasureStencil(n, threads, iters) }
+
+// MeasureFFT3D runs the executable 3D FFT (one of the Figure 9 kernels)
+// on the host at cube edge n (a power of two) and returns its rate.
+func MeasureFFT3D(n, threads, iters int) Rate { return kernels.MeasureFFT3D(n, threads, iters) }
+
+// Walker is the trace-driven latency simulator for one hardware thread.
+type Walker = machine.Walker
+
+// WalkerConfig configures a Walker.
+type WalkerConfig = machine.WalkerConfig
+
+// TableVIRow is one projected Hartree-Fock timing row.
+type TableVIRow = perfmodel.TableVIRow
+
+// ProjectTableVI projects every Table V molecule's Table VI row with
+// stage costs calibrated on the molecule at anchorIdx (0 = alkane-842);
+// all other rows are cross-validated predictions.
+func ProjectTableVI(anchorIdx int) []TableVIRow { return perfmodel.ProjectTableVI(anchorIdx) }
+
+// AblationComparison is one with/without design-choice result.
+type AblationComparison = ablation.Comparison
+
+// AblateVictimL3 measures what the NUCA lateral castout is worth.
+func AblateVictimL3(m *Machine) AblationComparison { return ablation.VictimL3(m) }
+
+// AblateInterGroupRouting measures what multi-route inter-group routing
+// is worth.
+func AblateInterGroupRouting(spec *SystemSpec) AblationComparison {
+	return ablation.InterGroupRouting(spec)
+}
