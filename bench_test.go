@@ -121,10 +121,23 @@ func BenchmarkTable6_HartreeFock(b *testing.B) {
 }
 
 // BenchmarkFullReproduction runs every experiment once per iteration —
-// the whole paper in one number.
+// the whole paper in one number. RunAll fans the experiments out across
+// the host's CPUs; the sequential variant below is the one-worker
+// baseline, so comparing the two benches measures the harness's own
+// parallel speedup on the current host.
 func BenchmarkFullReproduction(b *testing.B) {
+	benchRunAll(b, 0)
+}
+
+// BenchmarkFullReproductionSequential is the single-worker baseline.
+func BenchmarkFullReproductionSequential(b *testing.B) {
+	benchRunAll(b, 1)
+}
+
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
-		reports := RunAll(benchMachine, true)
+		reports := RunAllParallel(benchMachine, true, workers)
 		passed := 0
 		for _, r := range reports {
 			if r.Passed() {

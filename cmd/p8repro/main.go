@@ -5,8 +5,14 @@
 //	p8repro                      # run every experiment, print reports
 //	p8repro -exp table3          # run one experiment
 //	p8repro -quick               # reduced working sets (seconds, not minutes)
+//	p8repro -parallel 4          # run up to 4 experiments concurrently
 //	p8repro -markdown            # emit an EXPERIMENTS.md-style report
 //	p8repro -list                # list experiment ids
+//	p8repro -cpuprofile cpu.pb   # write a pprof CPU profile of the run
+//
+// Experiments run concurrently (one goroutine each, bounded by
+// -parallel, defaulting to the CPU count) but reports always print in
+// the paper's order with the same content as a sequential run.
 //
 // Exit status is non-zero when any paper-vs-measured check fails.
 package main
@@ -15,18 +21,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro"
 )
 
-func main() {
+// main delegates to run so that deferred profile writers execute before
+// the process picks its exit status.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		expID     = flag.String("exp", "", "run a single experiment by id (e.g. table3, figure7)")
-		quick     = flag.Bool("quick", false, "reduced working sets and scales")
-		markdown  = flag.Bool("markdown", false, "emit a markdown report (EXPERIMENTS.md format)")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		ablations = flag.Bool("ablations", false, "run the design-choice ablation studies instead")
+		expID      = flag.String("exp", "", "run a single experiment by id (e.g. table3, figure7)")
+		quick      = flag.Bool("quick", false, "reduced working sets and scales")
+		markdown   = flag.Bool("markdown", false, "emit a markdown report (EXPERIMENTS.md format)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		ablations  = flag.Bool("ablations", false, "run the design-choice ablation studies instead")
+		workers    = flag.Int("parallel", runtime.NumCPU(), "max experiments running concurrently (1 = sequential)")
+		timing     = flag.Bool("time", false, "report the suite's wall-clock time on stderr")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -34,24 +51,60 @@ func main() {
 		for _, e := range power8.Experiments() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p8repro: ", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "p8repro: ", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p8repro: ", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "p8repro: ", err)
+			}
+		}()
+	}
+
 	if *ablations {
 		printAblations()
-		return
+		return 0
 	}
 
 	m := power8.NewE870()
+	start := time.Now()
 	var reports []*power8.Report
 	if *expID != "" {
 		rep, err := power8.Run(*expID, m, *quick)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		reports = append(reports, rep)
 	} else {
-		reports = power8.RunAll(m, *quick)
+		reports = power8.RunAllParallel(m, *quick, *workers)
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "p8repro: suite wall-clock %.2fs (parallel=%d)\n",
+			time.Since(start).Seconds(), *workers)
 	}
 
 	failed := 0
@@ -69,8 +122,9 @@ func main() {
 		fmt.Printf("\n%d/%d experiments passed all checks\n", len(reports)-failed, len(reports))
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func printText(rep *power8.Report) {

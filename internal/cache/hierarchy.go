@@ -23,6 +23,11 @@ const (
 	numLevels
 )
 
+// NumLevels is the number of distinct Level values; Level values are the
+// integers [0, NumLevels), so callers can index fixed-size arrays by
+// Level instead of paying for a map on hot paths.
+const NumLevels = int(numLevels)
+
 // String implements fmt.Stringer.
 func (l Level) String() string {
 	switch l {

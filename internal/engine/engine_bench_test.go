@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSchedule measures raw push+pop throughput of the event queue
+// under a randomized arrival pattern (the DES hot path).
+func BenchmarkSchedule(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	times := make([]Time, 4096)
+	for i := range times {
+		times[i] = Time(r.Float64() * 1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q eventQueue
+		for _, t := range times {
+			q.push(scheduled{at: t})
+		}
+		for len(q) > 0 {
+			q.pop()
+		}
+	}
+}
+
+// BenchmarkScheduleContainerHeap is the pre-optimization baseline: the
+// same workload through container/heap with interface{} boxing.
+func BenchmarkScheduleContainerHeap(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	times := make([]Time, 4096)
+	for i := range times {
+		times[i] = Time(r.Float64() * 1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q refQueue
+		for _, t := range times {
+			heap.Push(&q, scheduled{at: t})
+		}
+		for q.Len() > 0 {
+			heap.Pop(&q)
+		}
+	}
+}
+
+// BenchmarkSimPointerChase runs a closed-loop pointer-chaser workload —
+// the structure of machine.SimulateRandomAccess — through the full Sim +
+// Resource stack.
+func BenchmarkSimPointerChase(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Sim
+		banks := make([]*Resource, 64)
+		for j := range banks {
+			banks[j] = NewResource("bank", 1)
+		}
+		r := rand.New(rand.NewSource(2))
+		var issue, complete Event
+		issue = func(sim *Sim) {
+			banks[r.Intn(len(banks))].Acquire(sim, 50, complete)
+		}
+		complete = func(sim *Sim) { sim.After(45, issue) }
+		for c := 0; c < 256; c++ {
+			s.At(Time(c), issue)
+		}
+		s.Run(100_000)
+	}
+}

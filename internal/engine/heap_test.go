@@ -1,0 +1,133 @@
+package engine
+
+// Property tests for the typed 4-ary event heap: it must drain in
+// exactly the order the binary container/heap implementation it replaced
+// would have produced — (time, seq) lexicographic order, which gives
+// same-timestamp events FIFO semantics via the seq tie-break.
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refQueue is the original container/heap implementation, kept here as
+// the ordering oracle.
+type refQueue []scheduled
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x interface{}) { *q = append(*q, x.(scheduled)) }
+func (q *refQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+func TestHeapMatchesContainerHeap(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var got eventQueue
+		var want refQueue
+		n := 1 + r.Intn(400)
+		seq := uint64(0)
+		// Interleave pushes and pops the way a simulation does: events
+		// arrive while earlier ones drain.
+		ops := 0
+		for ops < 2*n {
+			if len(got) == 0 || (r.Intn(3) != 0 && ops < n) {
+				seq++
+				// Coarse timestamps force plenty of same-time collisions.
+				ev := scheduled{at: Time(r.Intn(20)), seq: seq}
+				got.push(ev)
+				heap.Push(&want, ev)
+			} else {
+				g := got.pop()
+				w := heap.Pop(&want).(scheduled)
+				if g.at != w.at || g.seq != w.seq {
+					t.Fatalf("trial %d: pop mismatch: got (at=%v seq=%d), container/heap (at=%v seq=%d)",
+						trial, g.at, g.seq, w.at, w.seq)
+				}
+			}
+			ops++
+		}
+		for len(got) > 0 {
+			g := got.pop()
+			w := heap.Pop(&want).(scheduled)
+			if g.at != w.at || g.seq != w.seq {
+				t.Fatalf("trial %d: drain mismatch: got (at=%v seq=%d), want (at=%v seq=%d)",
+					trial, g.at, g.seq, w.at, w.seq)
+			}
+		}
+		if want.Len() != 0 {
+			t.Fatalf("trial %d: reference retains %d events after ours drained", trial, want.Len())
+		}
+	}
+}
+
+func TestHeapSameTimestampFIFO(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var q eventQueue
+	seq := uint64(0)
+	for i := 0; i < 1000; i++ {
+		seq++
+		q.push(scheduled{at: Time(r.Intn(5)), seq: seq})
+	}
+	var drained []scheduled
+	for len(q) > 0 {
+		drained = append(drained, q.pop())
+	}
+	if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i].before(drained[j]) }) {
+		t.Fatal("heap did not drain in (time, seq) order")
+	}
+	// Within each timestamp, seq values must come out strictly
+	// increasing: FIFO among same-time events.
+	lastSeq := map[Time]uint64{}
+	for _, ev := range drained {
+		if prev, ok := lastSeq[ev.at]; ok && ev.seq <= prev {
+			t.Fatalf("same-timestamp FIFO violated at t=%v: seq %d after %d", ev.at, ev.seq, prev)
+		}
+		lastSeq[ev.at] = ev.seq
+	}
+}
+
+func TestSimMatchesReferenceSchedule(t *testing.T) {
+	// Full-stack check: a randomized self-rescheduling workload through
+	// Sim must execute callbacks in the exact order the oracle predicts.
+	r := rand.New(rand.NewSource(99))
+	type stamp struct {
+		at Time
+		id int
+	}
+	var ran []stamp
+	var s Sim
+	id := 0
+	for i := 0; i < 200; i++ {
+		id++
+		myID := id
+		at := Time(r.Intn(50))
+		s.At(at, func(sim *Sim) { ran = append(ran, stamp{sim.Now(), myID}) })
+	}
+	s.Run(0)
+	if len(ran) != 200 {
+		t.Fatalf("ran %d events, want 200", len(ran))
+	}
+	for i := 1; i < len(ran); i++ {
+		if ran[i].at < ran[i-1].at {
+			t.Fatalf("time went backwards: %v after %v", ran[i].at, ran[i-1].at)
+		}
+		if ran[i].at == ran[i-1].at && ran[i].id < ran[i-1].id {
+			t.Fatalf("same-time events out of schedule order: id %d after %d at t=%v",
+				ran[i].id, ran[i-1].id, ran[i].at)
+		}
+	}
+}

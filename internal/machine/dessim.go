@@ -50,19 +50,25 @@ func (m *Machine) SimulateRandomAccess(threads, streams int, horizonNs float64) 
 	// bank, so conflicts appear at birthday-paradox rates long before
 	// the aggregate pool saturates — the effect behind the analytic
 	// model's load-dependent latency term.
+	// The banks are interchangeable, so they share one static name: the
+	// name only exists for debugging, and a per-bank fmt.Sprintf shows up
+	// as allocation noise when this simulation runs inside a sweep.
 	mem := make([]*engine.Resource, banks)
 	for b := range mem {
-		mem[b] = engine.NewResource(fmt.Sprintf("bank%d", b), 1)
+		mem[b] = engine.NewResource("bank", 1)
 	}
 	r := rng.New(20160523) // the paper's publication era; any fixed seed
 	var completions uint64
-	var issue func(s *engine.Sim)
+	// Both closures are built once and rescheduled by value: a chaser's
+	// whole issue/complete cycle costs no allocations, so the event rate
+	// is bounded by the heap, not the garbage collector.
+	var issue, complete engine.Event
 	issue = func(s *engine.Sim) {
-		bank := mem[r.Intn(banks)]
-		bank.Acquire(s, engine.Time(serviceNs), func(s *engine.Sim) {
-			completions++
-			s.After(engine.Time(transitNs), issue)
-		})
+		mem[r.Intn(banks)].Acquire(s, engine.Time(serviceNs), complete)
+	}
+	complete = func(s *engine.Sim) {
+		completions++
+		s.After(engine.Time(transitNs), issue)
 	}
 	// Stagger the chasers across one transit time so the banks do not
 	// see a synchronized burst at t=0.

@@ -14,7 +14,11 @@ import (
 	"repro/internal/units"
 )
 
-// Machine is a modelled SMP system.
+// Machine is a modelled SMP system. It is read-only after construction:
+// Spec, Net and Mem only answer queries, and everything mutable — cache
+// state, TLB state, prefetch streams, DES queues — lives in the Walker
+// and Sim instances created per run. A single Machine may therefore be
+// shared by concurrently running experiments.
 type Machine struct {
 	Spec *arch.SystemSpec
 	Net  *fabric.Network

@@ -51,14 +51,16 @@ type Walker struct {
 	totalNs  float64
 
 	// Per-source accounting: how many accesses each cache level (or a
-	// completed prefetch) satisfied, and the simulated time spent there.
-	levelCounts  map[cache.Level]uint64
+	// completed prefetch) satisfied. Indexed by cache.Level — an array,
+	// not a map, because this is incremented on every access.
+	levelCounts  [cache.NumLevels]uint64
 	prefetchHits uint64
 	eratMisses   uint64
 	tlbMisses    uint64
 
-	// inflight maps line address -> prefetch completion time.
-	inflight map[uint64]float64
+	// inflight maps line address -> prefetch completion time. Sized to
+	// the prefetch engine's stream capacity x run-ahead depth.
+	inflight *inflightTable
 	// lastDone serializes prefetch completions at the per-line stream
 	// service interval, modelling the finite per-stream fill bandwidth.
 	lastDone float64
@@ -67,6 +69,10 @@ type Walker struct {
 	lastLine  int64
 	lastDelta int64
 	haveDelta bool
+
+	// pfbuf is the scratch buffer OnDemandInto appends prefetch addresses
+	// to, reused across accesses.
+	pfbuf []uint64
 }
 
 // NewWalker builds a walker against this machine.
@@ -85,8 +91,8 @@ func (m *Machine) NewWalker(cfg WalkerConfig) *Walker {
 		pf:   prefetch.New(cfg.Prefetch),
 	}
 	w.hier.DisableVictim = cfg.DisableVictimL3
-	w.levelCounts = make(map[cache.Level]uint64)
-	w.inflight = make(map[uint64]float64)
+	pc := w.pf.Config()
+	w.inflight = newInflightTable(pc.MaxStreams * prefetch.DepthLines(pc.DSCR))
 	w.lastLine = -1 << 62
 	return w
 }
@@ -156,8 +162,8 @@ func (w *Walker) Access(addr uint64) float64 {
 	strided := w.haveDelta && delta == w.lastDelta && delta != 0
 	w.lastDelta, w.lastLine, w.haveDelta = delta, curLine, true
 
-	if done, ok := w.inflight[line]; ok && w.nowNs-done < staleInflightNs {
-		delete(w.inflight, line)
+	if done, ok := w.inflight.get(line); ok && w.nowNs-done < staleInflightNs {
+		w.inflight.del(line)
 		wait := done - w.nowNs
 		if wait < 0 {
 			wait = 0
@@ -170,7 +176,7 @@ func (w *Walker) Access(addr uint64) float64 {
 			// The prefetch completed long ago; for the out-of-cache
 			// footprints these experiments use, the line has been evicted
 			// again by intervening traffic. Treat it as a fresh demand.
-			delete(w.inflight, line)
+			w.inflight.del(line)
 		}
 		level := w.hier.Read(line, home == w.cfg.Chip)
 		w.levelCounts[level]++
@@ -178,7 +184,8 @@ func (w *Walker) Access(addr uint64) float64 {
 	}
 
 	if !w.cfg.DisablePrefetch {
-		for _, p := range w.pf.OnDemand(addr) {
+		w.pfbuf = w.pf.OnDemandInto(addr, w.pfbuf[:0])
+		for _, p := range w.pfbuf {
 			w.schedule(p)
 		}
 	}
@@ -199,7 +206,7 @@ func (w *Walker) schedule(lineAddr uint64) {
 	if w.hier.ContainsAny(lineAddr) {
 		return
 	}
-	if _, ok := w.inflight[lineAddr]; ok {
+	if _, ok := w.inflight.get(lineAddr); ok {
 		return
 	}
 	home := w.home(lineAddr)
@@ -211,7 +218,7 @@ func (w *Walker) schedule(lineAddr uint64) {
 		done = min
 	}
 	w.lastDone = done
-	w.inflight[lineAddr] = done
+	w.inflight.put(lineAddr, done)
 }
 
 // Hint issues a DCBT software-prefetch declaration for a stream of
@@ -282,9 +289,11 @@ type WalkerStats struct {
 
 // Stats returns the breakdown of everything this walker has simulated.
 func (w *Walker) Stats() WalkerStats {
-	levels := make(map[cache.Level]uint64, len(w.levelCounts))
+	levels := make(map[cache.Level]uint64, cache.NumLevels)
 	for l, n := range w.levelCounts {
-		levels[l] = n
+		if n > 0 {
+			levels[cache.Level(l)] = n
+		}
 	}
 	return WalkerStats{
 		Accesses:     w.accesses,

@@ -1,0 +1,71 @@
+// Package parallel provides the small concurrency substrate the
+// reproduction harness runs on: a bounded worker pool and an ordered
+// fan-out helper. The experiments of the paper are independent of each
+// other, so the suite can exploit a many-core host the same way the
+// paper's benchmarks exploit the 512-thread E870 — run everything at
+// once, but report in the paper's order.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a bounded worker pool: at most `workers` submitted functions
+// run concurrently; further Go calls park until a slot frees. The zero
+// value is not usable; construct with NewPool.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// NewPool returns a pool running at most workers tasks at once.
+// workers must be positive.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		panic(fmt.Sprintf("parallel: pool needs a positive worker count, got %d", workers))
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Go submits fn; it blocks while the pool is at capacity. A panic inside
+// fn propagates on the spawned goroutine (it is a programming error, not
+// a recoverable condition).
+func (p *Pool) Go(fn func()) {
+	p.sem <- struct{}{}
+	p.wg.Add(1)
+	go func() {
+		defer func() {
+			<-p.sem
+			p.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks until every submitted task has finished.
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Map applies fn to every item on at most `workers` goroutines and
+// returns the results in input order, regardless of completion order.
+// With workers == 1 it degenerates to a plain sequential loop (no
+// goroutines), so a single code path serves both modes deterministically.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	if workers == 1 || len(items) <= 1 {
+		for i := range items {
+			out[i] = fn(i, items[i])
+		}
+		return out
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	p := NewPool(workers)
+	for i := range items {
+		i := i
+		p.Go(func() { out[i] = fn(i, items[i]) })
+	}
+	p.Wait()
+	return out
+}

@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 100, 1000} {
+		got := Map(workers, items, func(_ int, v int) int { return v * v })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got := Map(4, nil, func(_ int, v int) int { return v })
+	if len(got) != 0 {
+		t.Fatalf("Map over nil returned %v", got)
+	}
+}
+
+func TestMapIndexMatchesItem(t *testing.T) {
+	items := []string{"a", "b", "c", "d"}
+	Map(3, items, func(i int, v string) struct{} {
+		if items[i] != v {
+			t.Errorf("index %d delivered item %q, want %q", i, v, items[i])
+		}
+		return struct{}{}
+	})
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	for i := 0; i < 50; i++ {
+		p.Go(func() {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			cur.Add(-1)
+		})
+	}
+	p.Wait()
+	if got := peak.Load(); got > workers {
+		t.Errorf("observed %d concurrent tasks, pool bound is %d", got, workers)
+	}
+}
+
+func TestPoolWaitRuns(t *testing.T) {
+	p := NewPool(2)
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		p.Go(func() { n.Add(1) })
+	}
+	p.Wait()
+	if n.Load() != 20 {
+		t.Errorf("ran %d tasks, want 20", n.Load())
+	}
+}
+
+func TestNewPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPool(0) did not panic")
+		}
+	}()
+	NewPool(0)
+}

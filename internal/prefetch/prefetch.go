@@ -116,8 +116,16 @@ func (e *Engine) Detected() uint64 { return e.detected }
 // OnDemand observes a demand access and returns the line addresses the
 // engine fetches ahead as a result (possibly none).
 func (e *Engine) OnDemand(addr uint64) []uint64 {
+	return e.OnDemandInto(addr, nil)
+}
+
+// OnDemandInto is OnDemand appending into buf, so a hot caller can reuse
+// one scratch slice across accesses instead of allocating a fresh result
+// per prefetch advance. It returns buf extended with the newly issued
+// line addresses.
+func (e *Engine) OnDemandInto(addr uint64, buf []uint64) []uint64 {
 	if e.depth == 0 {
-		return nil
+		return buf
 	}
 	e.clock++
 	line := int64(addr / LineSize)
@@ -136,7 +144,7 @@ func (e *Engine) OnDemand(addr uint64) []uint64 {
 				}
 				s.lastLine = line
 				s.lastUse = e.clock
-				return e.run(s)
+				return e.run(s, buf)
 			}
 			continue
 		}
@@ -162,15 +170,15 @@ func (e *Engine) OnDemand(addr uint64) []uint64 {
 				s.active = true
 				s.ahead = line
 				e.detected++
-				return e.run(s)
+				return e.run(s, buf)
 			}
-			return nil
+			return buf
 		}
 	}
 
 	// No stream matched: start a new candidate at this address.
 	e.insert(stream{lastLine: line, confidence: 1, lastUse: e.clock})
-	return nil
+	return buf
 }
 
 // acceptableStride reports whether the hardware would track a stream with
@@ -184,9 +192,10 @@ func (e *Engine) acceptableStride(stride int64) bool {
 }
 
 // run advances an active stream's prefetch frontier to depth stream
-// elements ahead of the last demand access and returns the newly
-// prefetched addresses. The frontier never trails the demand pointer.
-func (e *Engine) run(s *stream) []uint64 {
+// elements ahead of the last demand access and appends the newly
+// prefetched addresses to buf. The frontier never trails the demand
+// pointer.
+func (e *Engine) run(s *stream, buf []uint64) []uint64 {
 	if (s.stride > 0 && s.ahead < s.lastLine) || (s.stride < 0 && s.ahead > s.lastLine) {
 		s.ahead = s.lastLine
 	}
@@ -199,7 +208,7 @@ func (e *Engine) run(s *stream) []uint64 {
 			target = s.endLine
 		}
 	}
-	var out []uint64
+	issued := 0
 	for next := s.ahead + s.stride; ; next += s.stride {
 		if s.stride > 0 && next > target {
 			break
@@ -210,14 +219,14 @@ func (e *Engine) run(s *stream) []uint64 {
 		if next < 0 {
 			break
 		}
-		out = append(out, uint64(next)*LineSize)
+		buf = append(buf, uint64(next)*LineSize)
+		issued++
 	}
-	if len(out) > 0 {
-		last := int64(out[len(out)-1] / LineSize)
-		s.ahead = last
-		e.issued += uint64(len(out))
+	if issued > 0 {
+		s.ahead = int64(buf[len(buf)-1] / LineSize)
+		e.issued += uint64(issued)
 	}
-	return out
+	return buf
 }
 
 // Hint implements the DCBT software facility: it declares a stream
@@ -245,7 +254,7 @@ func (e *Engine) Hint(start uint64, lines int, dir int) []uint64 {
 		endLine:    line + int64(dir)*int64(lines-1),
 		lastUse:    e.clock,
 	}
-	burst := e.run(&s)
+	burst := e.run(&s, nil)
 	e.insert(s)
 	return burst
 }

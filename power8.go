@@ -25,10 +25,12 @@ package power8
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/arch"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 )
 
 // Machine is the assembled POWER8 SMP model; see internal/machine.
@@ -84,12 +86,28 @@ func MustRun(id string, m *Machine, quick bool) *Report {
 	return rep
 }
 
-// RunAll executes every experiment in order and returns the reports.
+// RunAll executes every experiment and returns the reports in the
+// paper's order. The experiments are independent, so they run
+// concurrently on up to runtime.NumCPU() goroutines; use RunAllParallel
+// to pick the worker count explicitly (1 forces a sequential run).
 func RunAll(m *Machine, quick bool) []*Report {
-	ctx := &experiments.Context{Machine: m, Quick: quick}
-	var out []*Report
-	for _, e := range experiments.All() {
-		out = append(out, e.Run(ctx))
+	return RunAllParallel(m, quick, runtime.NumCPU())
+}
+
+// RunAllParallel executes every experiment on at most `workers`
+// goroutines and returns the reports in the paper's order regardless of
+// completion order. The Machine is read-only after construction (Spec,
+// Net and Mem are immutable models; all per-run mutable state lives in
+// the Walker/Sim/kernel instances each experiment builds privately), so
+// one machine is safely shared by every worker, and a parallel run
+// produces the same reports as a sequential one.
+func RunAllParallel(m *Machine, quick bool, workers int) []*Report {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
-	return out
+	return parallel.Map(workers, experiments.All(), func(_ int, e Experiment) *Report {
+		// A fresh Context per worker: the struct itself is shared-nothing
+		// even if a future field gains experiment-local mutable state.
+		return e.Run(&experiments.Context{Machine: m, Quick: quick})
+	})
 }
