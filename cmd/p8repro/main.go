@@ -6,6 +6,8 @@
 //	p8repro -exp table3          # run one experiment
 //	p8repro -quick               # reduced working sets (seconds, not minutes)
 //	p8repro -parallel 4          # run up to 4 experiments concurrently
+//	p8repro -kernelworkers 8     # worker-team size inside each kernel
+//	p8repro -grainfactor 16      # finer dynamic chunks (chunks per worker)
 //	p8repro -markdown            # emit an EXPERIMENTS.md-style report
 //	p8repro -list                # list experiment ids
 //	p8repro -cpuprofile cpu.pb   # write a pprof CPU profile of the run
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/parallel"
 )
 
 // main delegates to run so that deferred profile writers execute before
@@ -41,11 +44,16 @@ func run() int {
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		ablations  = flag.Bool("ablations", false, "run the design-choice ablation studies instead")
 		workers    = flag.Int("parallel", runtime.NumCPU(), "max experiments running concurrently (1 = sequential)")
+		kworkers   = flag.Int("kernelworkers", 0, "worker-team size for the host kernels (0 = GOMAXPROCS)")
+		grainf     = flag.Int("grainfactor", 0, "dynamic-schedule chunks per worker (0 = default)")
 		timing     = flag.Bool("time", false, "report the suite's wall-clock time on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	parallel.SetDefaultWorkers(*kworkers)
+	parallel.SetGrainFactor(*grainf)
 
 	if *list {
 		for _, e := range power8.Experiments() {

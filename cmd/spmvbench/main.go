@@ -9,6 +9,8 @@
 //	spmvbench -profile "Wind Tunnel"          # built-in synthetic matrix
 //	spmvbench -mtx pwtk.mtx                   # a real .mtx file
 //	spmvbench -mtx graph.mtx -twoscan -block 4096
+//	spmvbench -profile "LiveJournal" -sched static -threads 8
+//	spmvbench -profile "LiveJournal" -grain 64    # finer dynamic chunks
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/spmv"
 )
 
@@ -30,8 +33,21 @@ func main() {
 		iters   = flag.Int("iters", 5, "timed repetitions")
 		threads = flag.Int("threads", 0, "worker threads (0 = all CPUs)")
 		seed    = flag.Uint64("seed", 1, "synthesis seed for -profile")
+		sched   = flag.String("sched", "dynamic", "CSR schedule: dynamic (atomic row chunks) or static (nnz-balanced pre-split)")
+		grain   = flag.Int("grain", 0, "dynamic chunk size in rows (0 = nnz-aware auto)")
 	)
 	flag.Parse()
+
+	var opt spmv.Options
+	switch *sched {
+	case "dynamic":
+		opt.Sched = parallel.Dynamic
+	case "static":
+		opt.Sched = parallel.Static
+	default:
+		fatal(fmt.Errorf("unknown -sched %q (want dynamic or static)", *sched))
+	}
+	opt.Grain = *grain
 
 	if *list {
 		for _, p := range graph.Suite() {
@@ -74,8 +90,8 @@ func main() {
 
 	fmt.Printf("%s: %d x %d, %d nonzeros (%.1f per row), %v\n",
 		name, m.Rows, m.Cols, m.NNZ(), m.AvgDegree(), m.Bytes())
-	rate := spmv.MeasureCSR(m, *threads, *iters)
-	fmt.Printf("CSR SpMV:      %v\n", rate)
+	rate := spmv.MeasureCSRWith(m, *threads, *iters, opt)
+	fmt.Printf("CSR SpMV:      %v (%v schedule)\n", rate, opt.Sched)
 	if *twoscan {
 		ts := spmv.NewTwoScan(m, *block)
 		rate2 := spmv.MeasureTwoScan(ts, *threads, *iters)

@@ -2,11 +2,10 @@ package hf
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/linalg"
-	"repro/internal/stream"
+	"repro/internal/parallel"
 	"repro/internal/units"
 )
 
@@ -326,33 +325,21 @@ func applyQuartet(g, d *linalg.Matrix, i, j, k, l int32, v float64) {
 	}
 }
 
-// fockFromStored builds F = H + G(D) from the precomputed quartet list,
-// in parallel with per-worker accumulators.
+// fockFromStored builds F = H + G(D) from the precomputed quartet list
+// on the persistent worker team, with per-worker accumulators. The
+// split is static (every stored quartet costs the same) so the
+// per-worker partial sums merge in a deterministic order and the SCF
+// trajectory is bit-reproducible for a fixed worker count.
 func fockFromStored(h, d *linalg.Matrix, stored []storedQuartet, threads int) *linalg.Matrix {
-	workers := stream.Parallelism(threads)
+	workers := parallel.Workers(threads)
 	parts := make([]*linalg.Matrix, workers)
-	var wg sync.WaitGroup
-	chunk := (len(stored) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(stored) {
-			hi = len(stored)
+	parallel.StaticFor(workers, len(stored), func(w, lo, hi int) {
+		g := linalg.NewMatrix(h.N)
+		for _, q := range stored[lo:hi] {
+			applyQuartet(g, d, q.i, q.j, q.k, q.l, q.v)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			g := linalg.NewMatrix(h.N)
-			for _, q := range stored[lo:hi] {
-				applyQuartet(g, d, q.i, q.j, q.k, q.l, q.v)
-			}
-			parts[w] = g
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		parts[w] = g
+	})
 	f := h.Clone()
 	for _, g := range parts {
 		if g == nil {
@@ -369,7 +356,7 @@ func fockFromStored(h, d *linalg.Matrix, stored []storedQuartet, threads int) *l
 // recomputing each ERI — the HF-Comp inner loop — in parallel with
 // per-worker accumulators.
 func fockRecompute(mol *Molecule, h, d *linalg.Matrix, pairs *PairList, tol float64, threads int) *linalg.Matrix {
-	workers := stream.Parallelism(threads)
+	workers := parallel.Workers(threads)
 	parts := make([]*linalg.Matrix, workers)
 	for w := range parts {
 		parts[w] = linalg.NewMatrix(h.N)

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
-	"repro/internal/stream"
+	"repro/internal/parallel"
 )
 
 // PairList holds the unique basis-function pairs (i >= j) with their
@@ -22,7 +21,9 @@ type PairList struct {
 }
 
 // BuildPairs computes the Schwarz factors for every unique pair, in
-// parallel over rows.
+// parallel over rows on the persistent worker team. Row i holds i+1
+// pairs, so row cost grows linearly down the triangle; dynamic chunking
+// keeps the workers balanced without a triangular pre-split.
 func BuildPairs(m *Molecule, threads int) *PairList {
 	n := m.NumFunctions()
 	p := &PairList{N: n}
@@ -30,33 +31,22 @@ func BuildPairs(m *Molecule, threads int) *PairList {
 	p.I = make([]int32, nPairs)
 	p.J = make([]int32, nPairs)
 	p.Q = make([]float64, nPairs)
-	workers := stream.Parallelism(threads)
-	var wg sync.WaitGroup
-	rows := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range rows {
-				base := i * (i + 1) / 2
-				for j := 0; j <= i; j++ {
-					bi, bj := m.Basis[i], m.Basis[j]
-					v := ERI(bi, bj, bi, bj)
-					if v < 0 {
-						v = 0
-					}
-					p.I[base+j] = int32(i)
-					p.J[base+j] = int32(j)
-					p.Q[base+j] = math.Sqrt(v)
+	workers := parallel.Workers(threads)
+	parallel.For(workers, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * (i + 1) / 2
+			for j := 0; j <= i; j++ {
+				bi, bj := m.Basis[i], m.Basis[j]
+				v := ERI(bi, bj, bi, bj)
+				if v < 0 {
+					v = 0
 				}
+				p.I[base+j] = int32(i)
+				p.J[base+j] = int32(j)
+				p.Q[base+j] = math.Sqrt(v)
 			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		rows <- i
-	}
-	close(rows)
-	wg.Wait()
+		}
+	})
 	return p
 }
 
@@ -150,16 +140,16 @@ func (p *PairList) VisitNonScreened(tol float64, visit func(a, b int)) {
 }
 
 // VisitNonScreenedParallel distributes the surviving quartets over
-// `workers` goroutines; visit receives the worker index so callers can
+// `workers` team workers; visit receives the worker index so callers can
 // keep per-worker accumulators. Each unordered quartet is visited exactly
-// once, by exactly one worker.
+// once, by exactly one worker. Rows run in descending-q order with
+// dynamic chunking: early rows have far more surviving partners than
+// late ones, so pulled chunks rebalance the skew.
 func (p *PairList) VisitNonScreenedParallel(tol float64, workers int, visit func(worker, a, b int)) {
 	if tol <= 0 {
 		panic(fmt.Sprintf("hf: screening tolerance %g", tol))
 	}
-	if workers <= 0 {
-		workers = stream.Parallelism(0)
-	}
+	workers = parallel.Workers(workers)
 	// Sort pair indices by descending q so each row's partner scan can
 	// stop early.
 	order := make([]int, len(p.Q))
@@ -167,35 +157,22 @@ func (p *PairList) VisitNonScreenedParallel(tol float64, workers int, visit func
 		order[i] = i
 	}
 	sort.Slice(order, func(x, y int) bool { return p.Q[order[x]] > p.Q[order[y]] })
-	if workers == 1 {
-		for s1 := 0; s1 < len(order); s1++ {
-			if !visitRow(p, order, tol, s1, 0, visit) {
-				break
-			}
+	// Rows are sorted by q descending, so survival is monotone: once a
+	// row's diagonal quartet q1*q1 fails the bound, every later row is
+	// dry. Binary-search the cutoff instead of streaming rows past it.
+	cutoff := sort.Search(len(order), func(s int) bool {
+		q := p.Q[order[s]]
+		return q == 0 || q*q < tol
+	})
+	grain := cutoff / (workers * 16)
+	if grain < 1 {
+		grain = 1
+	}
+	parallel.ForWorker(workers, cutoff, grain, func(w, lo, hi int) {
+		for s1 := lo; s1 < hi; s1++ {
+			visitRow(p, order, tol, s1, w, visit)
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	rows := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for s1 := range rows {
-				visitRow(p, order, tol, s1, w, visit)
-			}
-		}(w)
-	}
-	for s1 := 0; s1 < len(order); s1++ {
-		if p.Q[order[s1]] == 0 || p.Q[order[s1]]*p.Q[order[s1]] < tol {
-			// Rows are sorted by q descending: once the diagonal quartet
-			// fails, no later row survives.
-			break
-		}
-		rows <- s1
-	}
-	close(rows)
-	wg.Wait()
+	})
 }
 
 // visitRow emits the quartets of one outer row; it reports whether the

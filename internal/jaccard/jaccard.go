@@ -14,12 +14,10 @@ package jaccard
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/stream"
+	"repro/internal/parallel"
 	"repro/internal/units"
 )
 
@@ -45,72 +43,93 @@ func (s Stats) InputBytes() units.Bytes {
 // safe for concurrent use; AllPairs calls it from multiple workers.
 type Emit func(i, j int32, similarity float64)
 
+// EmitWorker is Emit with the worker index (0-based, below
+// parallel.Workers(threads)) of the calling worker. Collectors such as
+// ShardedTopK use it to keep contention-free per-worker state; calls
+// with the same worker index never overlap.
+type EmitWorker func(worker int, i, j int32, similarity float64)
+
 // AllPairs computes the Jaccard similarity of every pair of vertices with
 // a common neighbor. The graph must be undirected (a symmetric adjacency
 // matrix, as produced by graph.RMAT with Undirected set). A nil emit
 // counts pairs without materializing them, which is how the large-scale
 // footprint sweeps run.
 func AllPairs(g *graph.CSR, threads int, emit Emit) Stats {
+	var ew EmitWorker
+	if emit != nil {
+		ew = func(_ int, i, j int32, s float64) { emit(i, j, s) }
+	}
+	return AllPairsWorker(g, threads, ew)
+}
+
+// AllPairsWorker is AllPairs with a worker-indexed emit. Row blocks are
+// dynamically scheduled on the persistent worker team: hub vertices of a
+// scale-free graph make some blocks orders of magnitude heavier than
+// others, and pulling from the shared cursor rebalances them.
+func AllPairsWorker(g *graph.CSR, threads int, emit EmitWorker) Stats {
 	if g.Rows != g.Cols {
 		panic(fmt.Sprintf("jaccard: adjacency matrix must be square, got %dx%d", g.Rows, g.Cols))
 	}
 	start := time.Now()
-	workers := stream.Parallelism(threads)
-	var pairs int64
-	var wg sync.WaitGroup
-	const blockSize = 256 // source vertices per work unit
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			counts := make([]int32, g.Rows)
-			touched := make([]int32, 0, 4096)
-			var local int64
-			for blk := range work {
-				lo := blk * blockSize
-				hi := lo + blockSize
-				if hi > g.Rows {
-					hi = g.Rows
-				}
-				for i := lo; i < hi; i++ {
-					ni, _ := g.Row(i)
-					// Two-hop expansion: every j > i reachable in two
-					// steps shares at least one neighbor with i.
-					for _, u := range ni {
-						nu, _ := g.Row(int(u))
-						for _, j := range nu {
-							if int(j) <= i {
-								continue
-							}
-							if counts[j] == 0 {
-								touched = append(touched, j)
-							}
-							counts[j]++
-						}
+	workers := parallel.Workers(threads)
+	const blockSize = 256 // source vertices per scheduling chunk
+	// Per-worker scratch, allocated lazily on first use by each worker
+	// and reused across that worker's chunks.
+	type scratch struct {
+		counts  []int32
+		touched []int32
+		pairs   int64
+	}
+	scratches := make([]scratch, workers)
+	parallel.ForWorker(workers, g.Rows, blockSize, func(w, lo, hi int) {
+		s := &scratches[w]
+		if s.counts == nil {
+			s.counts = make([]int32, g.Rows)
+			s.touched = make([]int32, 0, 4096)
+		}
+		counts, touched := s.counts, s.touched
+		var local int64
+		for i := lo; i < hi; i++ {
+			ni, _ := g.Row(i)
+			// Two-hop expansion: every j > i reachable in two
+			// steps shares at least one neighbor with i.
+			for _, u := range ni {
+				nu, _ := g.Row(int(u))
+				for _, j := range nu {
+					if int(j) <= i {
+						continue
 					}
-					di := len(ni)
-					for _, j := range touched {
-						c := counts[j]
-						counts[j] = 0
-						union := di + g.Degree(int(j)) - int(c)
-						if emit != nil {
-							emit(int32(i), j, float64(c)/float64(union))
-						}
-						local++
+					if counts[j] == 0 {
+						touched = append(touched, j)
 					}
-					touched = touched[:0]
+					counts[j]++
 				}
 			}
-			atomic.AddInt64(&pairs, local)
-		}()
+			di := len(ni)
+			if emit != nil {
+				for _, j := range touched {
+					c := counts[j]
+					counts[j] = 0
+					union := di + g.Degree(int(j)) - int(c)
+					emit(w, int32(i), j, float64(c)/float64(union))
+				}
+			} else {
+				// Counting-only mode (footprint sweeps): skip the
+				// degree lookup and division entirely.
+				for _, j := range touched {
+					counts[j] = 0
+				}
+			}
+			local += int64(len(touched))
+			touched = touched[:0]
+		}
+		s.touched = touched[:0]
+		s.pairs += local
+	})
+	var pairs int64
+	for w := range scratches {
+		pairs += scratches[w].pairs
 	}
-	blocks := (g.Rows + blockSize - 1) / blockSize
-	for b := 0; b < blocks; b++ {
-		work <- b
-	}
-	close(work)
-	wg.Wait()
 	return Stats{
 		Vertices:    g.Rows,
 		InputEdges:  g.NNZ(),

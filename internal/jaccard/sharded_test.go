@@ -1,0 +1,154 @@
+package jaccard
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+func rmatGraph(scale int, seed uint64) *graph.CSR {
+	cfg := graph.DefaultRMAT(scale, seed)
+	cfg.EdgeFactor = 8
+	cfg.Undirected = true
+	return graph.RMAT(cfg)
+}
+
+// TestShardedTopKMatchesMutexOracle: the contention-free sharded
+// collector selects the same top-K similarity values as the mutex TopK
+// oracle. (Pairs tied at the cutoff similarity may legitimately differ
+// between collectors; the sorted similarity sequence is unique.)
+func TestShardedTopKMatchesMutexOracle(t *testing.T) {
+	g := rmatGraph(9, 5)
+	const k = 25
+	for _, threads := range []int{1, 4, 8} {
+		oracle := NewTopK(k)
+		AllPairs(g, threads, oracle.Emit)
+
+		workers := parallel.Workers(threads)
+		sharded := NewShardedTopK(k, workers)
+		st := AllPairsWorker(g, threads, sharded.Emit)
+		if st.Pairs == 0 {
+			t.Fatal("no pairs found")
+		}
+
+		want := oracle.Pairs()
+		got := sharded.Pairs()
+		if len(got) != len(want) {
+			t.Fatalf("threads=%d: sharded kept %d pairs, oracle %d", threads, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Similarity != want[i].Similarity {
+				t.Fatalf("threads=%d: rank %d similarity %v, oracle %v",
+					threads, i, got[i].Similarity, want[i].Similarity)
+			}
+		}
+	}
+}
+
+// TestShardedTopKExactPairsWhenDistinct: on a graph with all
+// similarities distinct within the top K, the sharded collector returns
+// exactly the oracle's pairs.
+func TestShardedTopKExactPairsWhenDistinct(t *testing.T) {
+	g := rmatGraph(8, 2)
+	// Collect everything, keep only a K where the cutoff is strict.
+	var mu sync.Mutex
+	var all []Pair
+	AllPairs(g, 4, func(i, j int32, s float64) {
+		mu.Lock()
+		all = append(all, Pair{i, j, s})
+		mu.Unlock()
+	})
+	if len(all) < 10 {
+		t.Skip("graph too small")
+	}
+	oracle := NewTopK(10)
+	for _, p := range all {
+		oracle.Emit(p.I, p.J, p.Similarity)
+	}
+	want := oracle.Pairs()
+	k := len(want)
+	// Shrink k until the cutoff similarity is strictly above the rest.
+	for k > 1 && want[k-1].Similarity == want[k-2].Similarity {
+		k--
+	}
+	want = want[:k]
+
+	workers := parallel.Workers(4)
+	sharded := NewShardedTopK(10, workers)
+	AllPairsWorker(g, 4, sharded.Emit)
+	got := sharded.Pairs()[:k]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: got %+v, oracle %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAllPairsWorkerIndexIsExclusive: emits with the same worker index
+// never overlap, which is the contract ShardedTopK relies on.
+func TestAllPairsWorkerIndexIsExclusive(t *testing.T) {
+	g := rmatGraph(9, 7)
+	const threads = 8
+	workers := parallel.Workers(threads)
+	active := make([]int32, workers)
+	var mu sync.Mutex // only guards the failure flag, not the counters
+	failed := false
+	AllPairsWorker(g, threads, func(w int, _, _ int32, _ float64) {
+		if w < 0 || w >= workers {
+			mu.Lock()
+			failed = true
+			mu.Unlock()
+			return
+		}
+		// Not atomic on purpose: the per-worker serialization contract is
+		// what makes this plain increment safe; -race verifies it.
+		active[w]++
+	})
+	if failed {
+		t.Fatal("worker index out of range")
+	}
+	var total int64
+	for _, c := range active {
+		total += int64(c)
+	}
+	st := AllPairs(g, threads, nil)
+	if total != st.Pairs {
+		t.Fatalf("worker-indexed emit saw %d pairs, count-only run saw %d", total, st.Pairs)
+	}
+}
+
+// TestAllPairsSteadyStateSpawnsNothing: repeated runs reuse the
+// persistent team.
+func TestAllPairsSteadyStateSpawnsNothing(t *testing.T) {
+	g := rmatGraph(8, 3)
+	const threads = 4
+	AllPairs(g, threads, nil) // warmup
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		AllPairs(g, threads, nil)
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Errorf("goroutines grew %d -> %d across AllPairs calls", before, after)
+	}
+}
+
+// TestNewShardedTopKPanics rejects bad arguments.
+func TestNewShardedTopKPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewShardedTopK(0, 4) },
+		func() { NewShardedTopK(3, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

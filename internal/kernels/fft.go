@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sync"
 	"time"
 
-	"repro/internal/stream"
+	"repro/internal/parallel"
 	"repro/internal/units"
 )
 
@@ -100,29 +99,24 @@ func (c *Cube) Set(x, y, z int, v complex128) { c.Data[(z*c.N+y)*c.N+x] = v }
 
 // FFT3D transforms the cube in place along all three axes — the 3D FFT
 // kernel of Figure 9. Lines along each axis transform independently in
-// parallel.
+// parallel on the persistent worker team; per-worker strided-line
+// buffers are allocated lazily and reused across that worker's chunks.
 func (c *Cube) FFT3D(inverse bool, threads int) {
 	n := c.N
-	workers := stream.Parallelism(threads)
+	workers := parallel.Workers(threads)
 
+	bufs := make([][]complex128, workers)
 	run := func(lines int, body func(line int, buf []complex128)) {
-		var wg sync.WaitGroup
-		work := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				buf := make([]complex128, n)
-				for line := range work {
-					body(line, buf)
-				}
-			}()
-		}
-		for l := 0; l < lines; l++ {
-			work <- l
-		}
-		close(work)
-		wg.Wait()
+		parallel.ForWorker(workers, lines, 0, func(w, lo, hi int) {
+			buf := bufs[w]
+			if buf == nil {
+				buf = make([]complex128, n)
+				bufs[w] = buf
+			}
+			for line := lo; line < hi; line++ {
+				body(line, buf)
+			}
+		})
 	}
 
 	// X axis: contiguous lines.

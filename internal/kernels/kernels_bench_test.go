@@ -1,0 +1,95 @@
+package kernels
+
+import (
+	"sync"
+	"testing"
+)
+
+// Stencil sweeps ping-pong between buffers for many iterations — the
+// pattern that pays spawn-per-call overhead once per sweep without the
+// persistent team.
+
+func benchGrids(n int) (*Grid3D, *Grid3D) {
+	a := NewGrid3D(n, n, n)
+	b := NewGrid3D(n, n, n)
+	a.Fill(func(x, y, z int) float64 { return float64((x + 2*y + 3*z) % 7) })
+	return a, b
+}
+
+func BenchmarkStencilTeam(b *testing.B) {
+	src, dst := benchGrids(64)
+	c := JacobiCoeffs()
+	interior := int64(62) * 62 * 62
+	b.SetBytes(interior * 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stencil7(dst, src, c, 4)
+		src, dst = dst, src
+	}
+}
+
+// stencilSpawn is the pre-team sweep: per-call worker spawn fed by a
+// plane channel. Baseline only.
+func stencilSpawn(dst, src *Grid3D, c StencilCoeffs, workers int) {
+	nx, ny, nz := src.NX, src.NY, src.NZ
+	var wg sync.WaitGroup
+	planes := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for z := range planes {
+				if z == 0 || z == nz-1 {
+					copy(dst.Data[z*ny*nx:(z+1)*ny*nx], src.Data[z*ny*nx:(z+1)*ny*nx])
+					continue
+				}
+				for y := 0; y < ny; y++ {
+					row := (z*ny + y) * nx
+					if y == 0 || y == ny-1 {
+						copy(dst.Data[row:row+nx], src.Data[row:row+nx])
+						continue
+					}
+					dst.Data[row] = src.Data[row]
+					for x := 1; x < nx-1; x++ {
+						i := row + x
+						dst.Data[i] = c.C0*src.Data[i] + c.C1*(src.Data[i-1]+src.Data[i+1]+
+							src.Data[i-nx]+src.Data[i+nx]+
+							src.Data[i-nx*ny]+src.Data[i+nx*ny])
+					}
+					dst.Data[row+nx-1] = src.Data[row+nx-1]
+				}
+			}
+		}()
+	}
+	for z := 0; z < nz; z++ {
+		planes <- z
+	}
+	close(planes)
+	wg.Wait()
+}
+
+func BenchmarkStencilSpawnBaseline(b *testing.B) {
+	src, dst := benchGrids(64)
+	c := JacobiCoeffs()
+	interior := int64(62) * 62 * 62
+	b.SetBytes(interior * 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stencilSpawn(dst, src, c, 4)
+		src, dst = dst, src
+	}
+}
+
+func BenchmarkFFT3DTeam(b *testing.B) {
+	c := NewCube(32)
+	for i := range c.Data {
+		c.Data[i] = complex(float64(i%13), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.FFT3D(false, 4)
+	}
+}

@@ -9,10 +9,9 @@ package kernels
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
-	"repro/internal/stream"
+	"repro/internal/parallel"
 	"repro/internal/units"
 )
 
@@ -59,47 +58,40 @@ type StencilCoeffs struct {
 func JacobiCoeffs() StencilCoeffs { return StencilCoeffs{C0: 0, C1: 1.0 / 6} }
 
 // Stencil7 applies one 7-point stencil sweep to the interior of src,
-// writing dst (boundaries copy through). Parallel over z-planes.
+// writing dst (boundaries copy through). Parallel over z-planes on the
+// persistent worker team with dynamic chunking, so repeated sweeps
+// (ping-pong Jacobi iteration) spawn no goroutines. Every plane's
+// writes are disjoint and computed in the same order as the sequential
+// sweep, so results are bit-identical regardless of schedule.
 func Stencil7(dst, src *Grid3D, c StencilCoeffs, threads int) {
 	if dst.NX != src.NX || dst.NY != src.NY || dst.NZ != src.NZ {
 		panic("kernels: grid shape mismatch")
 	}
 	nx, ny, nz := src.NX, src.NY, src.NZ
-	workers := stream.Parallelism(threads)
-	var wg sync.WaitGroup
-	planes := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for z := range planes {
-				if z == 0 || z == nz-1 {
-					copy(dst.Data[z*ny*nx:(z+1)*ny*nx], src.Data[z*ny*nx:(z+1)*ny*nx])
+	workers := parallel.Workers(threads)
+	parallel.For(workers, nz, 1, func(zlo, zhi int) {
+		for z := zlo; z < zhi; z++ {
+			if z == 0 || z == nz-1 {
+				copy(dst.Data[z*ny*nx:(z+1)*ny*nx], src.Data[z*ny*nx:(z+1)*ny*nx])
+				continue
+			}
+			for y := 0; y < ny; y++ {
+				row := (z*ny + y) * nx
+				if y == 0 || y == ny-1 {
+					copy(dst.Data[row:row+nx], src.Data[row:row+nx])
 					continue
 				}
-				for y := 0; y < ny; y++ {
-					row := (z*ny + y) * nx
-					if y == 0 || y == ny-1 {
-						copy(dst.Data[row:row+nx], src.Data[row:row+nx])
-						continue
-					}
-					dst.Data[row] = src.Data[row]
-					for x := 1; x < nx-1; x++ {
-						i := row + x
-						dst.Data[i] = c.C0*src.Data[i] + c.C1*(src.Data[i-1]+src.Data[i+1]+
-							src.Data[i-nx]+src.Data[i+nx]+
-							src.Data[i-nx*ny]+src.Data[i+nx*ny])
-					}
-					dst.Data[row+nx-1] = src.Data[row+nx-1]
+				dst.Data[row] = src.Data[row]
+				for x := 1; x < nx-1; x++ {
+					i := row + x
+					dst.Data[i] = c.C0*src.Data[i] + c.C1*(src.Data[i-1]+src.Data[i+1]+
+						src.Data[i-nx]+src.Data[i+nx]+
+						src.Data[i-nx*ny]+src.Data[i+nx*ny])
 				}
+				dst.Data[row+nx-1] = src.Data[row+nx-1]
 			}
-		}()
-	}
-	for z := 0; z < nz; z++ {
-		planes <- z
-	}
-	close(planes)
-	wg.Wait()
+		}
+	})
 }
 
 // StencilFlopsPerPoint is the floating-point work of one interior update:

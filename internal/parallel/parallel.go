@@ -1,9 +1,12 @@
-// Package parallel provides the small concurrency substrate the
-// reproduction harness runs on: a bounded worker pool and an ordered
-// fan-out helper. The experiments of the paper are independent of each
-// other, so the suite can exploit a many-core host the same way the
-// paper's benchmarks exploit the 512-thread E870 — run everything at
-// once, but report in the paper's order.
+// Package parallel provides the concurrency substrate the reproduction
+// runs on, at two levels. For the experiment harness: a bounded worker
+// pool and an ordered fan-out helper — the experiments of the paper are
+// independent of each other, so the suite can exploit a many-core host
+// the same way the paper's benchmarks exploit the 512-thread E870 (run
+// everything at once, report in the paper's order). For the host
+// kernels: a persistent worker Team with dynamic- and static-schedule
+// parallel-for primitives (see team.go), so iterative kernels spawn no
+// goroutines in steady state and skewed scale-free work rebalances.
 package parallel
 
 import (

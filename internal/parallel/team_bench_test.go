@@ -1,0 +1,194 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The team-vs-spawn comparison: the same trivial loop body run through a
+// persistent team (goroutines created once) and through the
+// spawn-per-call pattern every kernel used before the team existed.
+
+const benchN = 1 << 16
+
+func benchBody(sink *atomic.Int64) func(lo, hi int) {
+	return func(lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		sink.Add(s)
+	}
+}
+
+func BenchmarkParallelForTeam(b *testing.B) {
+	team := NewTeam(4)
+	defer team.Close()
+	var sink atomic.Int64
+	body := benchBody(&sink)
+	team.ParallelFor(benchN, 0, body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		team.ParallelFor(benchN, 0, body)
+	}
+}
+
+// BenchmarkParallelForSpawn is the pre-team baseline: a WaitGroup and a
+// fresh goroutine set per call.
+func BenchmarkParallelForSpawn(b *testing.B) {
+	const workers = 4
+	var sink atomic.Int64
+	body := benchBody(&sink)
+	spawn := func() {
+		var wg sync.WaitGroup
+		chunk := (benchN + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > benchN {
+				hi = benchN
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				body(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spawn()
+	}
+}
+
+// BenchmarkParallelForSpawnChannel is the other pre-team pattern: an
+// unbuffered work channel feeding freshly spawned workers.
+func BenchmarkParallelForSpawnChannel(b *testing.B) {
+	const workers = 4
+	const grain = benchN / 32
+	var sink atomic.Int64
+	body := benchBody(&sink)
+	spawn := func() {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for lo := range work {
+					hi := lo + grain
+					if hi > benchN {
+						hi = benchN
+					}
+					body(lo, hi)
+				}
+			}()
+		}
+		for lo := 0; lo < benchN; lo += grain {
+			work <- lo
+		}
+		close(work)
+		wg.Wait()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spawn()
+	}
+}
+
+// Small-body variants: when the per-call work is modest (a PageRank
+// iteration on a mid-size graph, one STREAM pass on a cache-resident
+// array), the per-call dispatch cost is the kernel's overhead floor —
+// this is where the persistent team pays off most.
+
+const benchSmallN = 1 << 10
+
+func BenchmarkParallelForSmallTeam(b *testing.B) {
+	team := NewTeam(4)
+	defer team.Close()
+	var sink atomic.Int64
+	body := benchBody(&sink)
+	team.ParallelFor(benchSmallN, 0, body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		team.ParallelFor(benchSmallN, 0, body)
+	}
+}
+
+func BenchmarkParallelForSmallSpawn(b *testing.B) {
+	const workers = 4
+	var sink atomic.Int64
+	body := benchBody(&sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		chunk := (benchSmallN + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > benchSmallN {
+				hi = benchSmallN
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				body(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkParallelForSmallSpawnChannel(b *testing.B) {
+	const workers = 4
+	const grain = benchSmallN / 8
+	var sink atomic.Int64
+	body := benchBody(&sink)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for lo := range work {
+					hi := lo + grain
+					if hi > benchSmallN {
+						hi = benchSmallN
+					}
+					body(lo, hi)
+				}
+			}()
+		}
+		for lo := 0; lo < benchSmallN; lo += grain {
+			work <- lo
+		}
+		close(work)
+		wg.Wait()
+	}
+}
+
+func BenchmarkStaticForTeam(b *testing.B) {
+	team := NewTeam(4)
+	defer team.Close()
+	var sink atomic.Int64
+	body := func(_, lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		sink.Add(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		team.StaticFor(benchN, body)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // PageRank computes the PageRank vector of a directed graph given as a
@@ -12,6 +13,13 @@ import (
 // column-stochastic transition matrix — one of the graph algorithms the
 // paper names as an SpMV consumer (Section V-B). Dangling vertices
 // redistribute uniformly. It returns the ranks and the iterations used.
+//
+// Every per-iteration pass — the scale/dangling pass, the SpMV, and the
+// delta/update pass — runs on the persistent worker team, so the power
+// loop spawns no goroutines. The two reduction passes use the static
+// schedule: each worker owns a fixed contiguous range and partials merge
+// in worker order, so results are deterministic for a given worker
+// count.
 func PageRank(g *graph.CSR, damping float64, tol float64, maxIters, threads int) ([]float64, int) {
 	if g.Rows != g.Cols {
 		panic(fmt.Sprintf("spmv: PageRank needs a square adjacency, got %dx%d", g.Rows, g.Cols))
@@ -26,6 +34,7 @@ func PageRank(g *graph.CSR, damping float64, tol float64, maxIters, threads int)
 		maxIters = 100
 	}
 	n := g.Rows
+	workers := parallel.Workers(threads)
 	// Build the transpose once: rank flows along out-edges, so the
 	// update y = A^T (r / outdeg) is an SpMV with the transposed matrix.
 	at := g.Transpose()
@@ -36,27 +45,53 @@ func PageRank(g *graph.CSR, damping float64, tol float64, maxIters, threads int)
 	r := make([]float64, n)
 	scaled := make([]float64, n)
 	y := make([]float64, n)
+	partials := make([]float64, workers)
 	for i := range r {
 		r[i] = 1 / float64(n)
 	}
 	iters := 0
 	for iters = 1; iters <= maxIters; iters++ {
-		var dangling float64
-		for i := 0; i < n; i++ {
-			if outDeg[i] == 0 {
-				dangling += r[i]
-				scaled[i] = 0
-			} else {
-				scaled[i] = r[i] / outDeg[i]
-			}
+		// Pass 1: scale by out-degree, accumulating the dangling mass in
+		// per-worker partials.
+		for w := range partials {
+			partials[w] = 0
 		}
-		CSR(y, at, scaled, threads)
+		parallel.StaticFor(workers, n, func(w, lo, hi int) {
+			var dl float64
+			for i := lo; i < hi; i++ {
+				if outDeg[i] == 0 {
+					dl += r[i]
+					scaled[i] = 0
+				} else {
+					scaled[i] = r[i] / outDeg[i]
+				}
+			}
+			partials[w] = dl
+		})
+		var dangling float64
+		for _, v := range partials {
+			dangling += v
+		}
+
+		CSRWith(y, at, scaled, workers, Options{})
+
+		// Pass 2: apply damping and accumulate the L1 change.
 		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		for w := range partials {
+			partials[w] = 0
+		}
+		parallel.StaticFor(workers, n, func(w, lo, hi int) {
+			var dl float64
+			for i := lo; i < hi; i++ {
+				v := base + damping*y[i]
+				dl += math.Abs(v - r[i])
+				r[i] = v
+			}
+			partials[w] = dl
+		})
 		var delta float64
-		for i := 0; i < n; i++ {
-			v := base + damping*y[i]
-			delta += math.Abs(v - r[i])
-			r[i] = v
+		for _, v := range partials {
+			delta += v
 		}
 		if delta < tol {
 			break

@@ -5,15 +5,22 @@
 // for scale-free graphs (Figure 12), which column-blocks a scaling pass
 // and row-blocks a reduction pass so each pass's vector chunk stays in
 // cache.
+//
+// All kernels run on the persistent worker team of internal/parallel:
+// steady-state iteration (PageRank power steps, MeasureCSR repetitions)
+// spawns no goroutines. The CSR kernel defaults to dynamic chunking with
+// nnz-aware grain sizing so hub-heavy scale-free rows rebalance across
+// workers; Options selects the paper's static nnz-balanced pre-split
+// instead. Either schedule computes each row's dot product in the same
+// element order, so results are bit-identical to the sequential kernel.
 package spmv
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/stream"
+	"repro/internal/parallel"
 	"repro/internal/units"
 )
 
@@ -38,32 +45,79 @@ func PartitionRows(m *graph.CSR, parts int) []int {
 	return bounds
 }
 
-// CSR computes y = A*x with the row-partitioned CSR kernel.
+// Options tunes the CSR kernel's schedule.
+type Options struct {
+	// Sched picks the schedule: Dynamic (default) pulls row chunks from
+	// an atomic cursor; Static uses the nnz-balanced pre-split of
+	// PartitionRows (the paper's partitioning).
+	Sched parallel.Schedule
+	// Grain is the dynamic chunk size in rows; 0 sizes chunks so each
+	// carries roughly equal nonzeros (nnz-aware auto grain).
+	Grain int
+}
+
+// CSR computes y = A*x with the row-partitioned CSR kernel using the
+// default dynamic schedule.
 func CSR(y []float64, m *graph.CSR, x []float64, threads int) {
+	CSRWith(y, m, x, threads, Options{})
+}
+
+// CSRWith computes y = A*x with an explicit schedule choice.
+func CSRWith(y []float64, m *graph.CSR, x []float64, threads int, opt Options) {
 	if len(y) != m.Rows || len(x) != m.Cols {
 		panic(fmt.Sprintf("spmv: dims y=%d x=%d for %dx%d", len(y), len(x), m.Rows, m.Cols))
 	}
-	workers := stream.Parallelism(threads)
-	bounds := PartitionRows(m, workers)
-	var wg sync.WaitGroup
-	for p := 0; p < workers; p++ {
-		lo, hi := bounds[p], bounds[p+1]
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				var sum float64
-				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-					sum += m.Vals[k] * x[m.ColIdx[k]]
-				}
-				y[i] = sum
-			}
-		}(lo, hi)
+	workers := parallel.Workers(threads)
+	if opt.Sched == parallel.Static {
+		bounds := PartitionRows(m, workers)
+		parallel.StaticRanges(workers, bounds, func(_, lo, hi int) {
+			csrRows(y, m, x, lo, hi)
+		})
+		return
 	}
-	wg.Wait()
+	grain := opt.Grain
+	if grain <= 0 {
+		grain = csrGrain(m, workers)
+	}
+	parallel.For(workers, m.Rows, grain, func(lo, hi int) {
+		csrRows(y, m, x, lo, hi)
+	})
+}
+
+// csrRows is the serial row kernel both schedules share; each row's sum
+// accumulates in CSR element order, so output bits do not depend on the
+// schedule.
+func csrRows(y []float64, m *graph.CSR, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var sum float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// csrGrain sizes dynamic chunks by nonzeros, not rows: a chunk carries
+// ~4096 nnz on average, so uniform matrices get coarse chunks (low
+// scheduling overhead) while scale-free matrices get fine ones (hub
+// rows can rebalance). Capped so every worker sees several chunks.
+func csrGrain(m *graph.CSR, workers int) int {
+	rows := m.Rows
+	if rows == 0 {
+		return 1
+	}
+	avg := float64(m.NNZ()) / float64(rows)
+	if avg < 1 {
+		avg = 1
+	}
+	g := int(4096 / avg)
+	if g < 1 {
+		g = 1
+	}
+	if maxG := rows / (workers * 4); maxG >= 1 && g > maxG {
+		g = maxG
+	}
+	return g
 }
 
 // Flops returns the floating-point operations of one SpMV: 2 per nonzero.
@@ -72,6 +126,11 @@ func Flops(m *graph.CSR) float64 { return 2 * float64(m.NNZ()) }
 // MeasureCSR times iters repetitions of the CSR kernel after a warmup and
 // returns the throughput.
 func MeasureCSR(m *graph.CSR, threads, iters int) units.Rate {
+	return MeasureCSRWith(m, threads, iters, Options{})
+}
+
+// MeasureCSRWith is MeasureCSR with an explicit schedule choice.
+func MeasureCSRWith(m *graph.CSR, threads, iters int, opt Options) units.Rate {
 	if iters <= 0 {
 		panic("spmv: iters must be positive")
 	}
@@ -80,10 +139,10 @@ func MeasureCSR(m *graph.CSR, threads, iters int) units.Rate {
 		x[i] = 1 + float64(i%3)
 	}
 	y := make([]float64, m.Rows)
-	CSR(y, m, x, threads) // warmup
+	CSRWith(y, m, x, threads, opt) // warmup
 	start := time.Now()
 	for it := 0; it < iters; it++ {
-		CSR(y, m, x, threads)
+		CSRWith(y, m, x, threads, opt)
 	}
 	sec := time.Since(start).Seconds()
 	return units.Rate(Flops(m) * float64(iters) / sec)

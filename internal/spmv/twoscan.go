@@ -2,11 +2,10 @@ package spmv
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/graph"
-	"repro/internal/stream"
+	"repro/internal/parallel"
 	"repro/internal/units"
 )
 
@@ -107,33 +106,25 @@ func (ts *TwoScan) AvgBlockNNZ() float64 {
 }
 
 // Scale runs scan 1: scaled[k] = vals[k] * x[cols[k]], in column-stripe
-// order, parallelized over column stripes (disjoint x chunks).
+// order, parallelized over column stripes (disjoint x chunks). Stripes
+// are dynamically scheduled on the persistent team: scale-free column
+// stripes holding hub vertices carry far more nonzeros than the rest,
+// and pulling rebalances them.
 func (ts *TwoScan) Scale(x []float64, threads int) {
 	if len(x) != ts.Cols {
 		panic(fmt.Sprintf("spmv: x length %d for %d columns", len(x), ts.Cols))
 	}
-	workers := stream.Parallelism(threads)
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for cb := range work {
-				for rb := 0; rb < ts.rStripes; rb++ {
-					b := &ts.blocks[rb*ts.cStripes+cb]
-					for k, j := range b.cols {
-						b.scaled[k] = b.vals[k] * x[j]
-					}
+	workers := parallel.Workers(threads)
+	parallel.For(workers, ts.cStripes, 1, func(lo, hi int) {
+		for cb := lo; cb < hi; cb++ {
+			for rb := 0; rb < ts.rStripes; rb++ {
+				b := &ts.blocks[rb*ts.cStripes+cb]
+				for k, j := range b.cols {
+					b.scaled[k] = b.vals[k] * x[j]
 				}
 			}
-		}()
-	}
-	for cb := 0; cb < ts.cStripes; cb++ {
-		work <- cb
-	}
-	close(work)
-	wg.Wait()
+		}
+	})
 }
 
 // Reduce runs scan 2: y[rows[k]] += scaled[k], in row-stripe order,
@@ -142,31 +133,27 @@ func (ts *TwoScan) Reduce(y []float64, threads int) {
 	if len(y) != ts.Rows {
 		panic(fmt.Sprintf("spmv: y length %d for %d rows", len(y), ts.Rows))
 	}
-	for i := range y {
-		y[i] = 0
-	}
-	workers := stream.Parallelism(threads)
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for rb := range work {
-				for cb := 0; cb < ts.cStripes; cb++ {
-					b := &ts.blocks[rb*ts.cStripes+cb]
-					for k, i := range b.rows {
-						y[i] += b.scaled[k]
-					}
+	workers := parallel.Workers(threads)
+	parallel.For(workers, ts.rStripes, 1, func(lo, hi int) {
+		for rb := lo; rb < hi; rb++ {
+			// Zero this stripe's y chunk just before accumulating into
+			// it, while it is about to be cache-resident anyway.
+			yLo := rb * ts.BlockSize
+			yHi := yLo + ts.BlockSize
+			if yHi > ts.Rows {
+				yHi = ts.Rows
+			}
+			for i := yLo; i < yHi; i++ {
+				y[i] = 0
+			}
+			for cb := 0; cb < ts.cStripes; cb++ {
+				b := &ts.blocks[rb*ts.cStripes+cb]
+				for k, i := range b.rows {
+					y[i] += b.scaled[k]
 				}
 			}
-		}()
-	}
-	for rb := 0; rb < ts.rStripes; rb++ {
-		work <- rb
-	}
-	close(work)
-	wg.Wait()
+		}
+	})
 }
 
 // Multiply runs both scans: y = A*x.

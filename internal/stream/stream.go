@@ -5,30 +5,33 @@
 // E870's Centaur links; here they both exercise the host and validate the
 // kernel structure the analytic model assumes.
 //
-// Kernels are parallelized over goroutines with a static 1D partition,
-// mirroring the paper's one-thread-per-hardware-thread OpenMP setup.
+// Kernels keep the paper's static 1D partition (one contiguous chunk
+// per worker, mirroring its one-thread-per-hardware-thread OpenMP
+// setup) but run on the persistent worker team of internal/parallel, so
+// the measurement loops (RatioKernel.Measure, repeated Triads) spawn no
+// goroutines in steady state.
 package stream
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/units"
 )
 
-// Parallelism returns the worker count used when threads <= 0: one per
-// available CPU.
+// Parallelism returns the worker count used when threads <= 0: the
+// process default of internal/parallel (one per available CPU unless
+// overridden via parallel.SetDefaultWorkers).
 func Parallelism(threads int) int {
-	if threads > 0 {
-		return threads
-	}
-	return runtime.GOMAXPROCS(0)
+	return parallel.Workers(threads)
 }
 
 // parallelRange splits [0, n) into one contiguous chunk per worker and
-// runs body(lo, hi) concurrently.
+// runs body(lo, hi) on the worker team (static schedule: STREAM traffic
+// is uniform, and fixed chunks keep each worker touching the same
+// memory every pass).
 func parallelRange(n, workers int, body func(lo, hi int)) {
 	if workers > n {
 		workers = n
@@ -37,24 +40,9 @@ func parallelRange(n, workers int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.StaticFor(workers, n, func(_, lo, hi int) {
+		body(lo, hi)
+	})
 }
 
 // Copy performs c[i] = a[i].
