@@ -11,10 +11,19 @@
 //	p8repro -markdown            # emit an EXPERIMENTS.md-style report
 //	p8repro -list                # list experiment ids
 //	p8repro -cpuprofile cpu.pb   # write a pprof CPU profile of the run
+//	p8repro -stats               # append a counter appendix per experiment
+//	p8repro -statsaddr :8123     # also serve live counters over HTTP
 //
 // Experiments run concurrently (one goroutine each, bounded by
 // -parallel, defaulting to the CPU count) but reports always print in
 // the paper's order with the same content as a sequential run.
+//
+// With -stats each experiment runs inside its own registry scope (see
+// internal/obs and the DESIGN.md "Observability" section) and its report
+// ends with the scope's counters; the kernel runtime's shared-team
+// counters are process-wide and print once at the end. -statsaddr
+// serves the same registry live: GET / for JSON, /?format=markdown for
+// the table form.
 //
 // Exit status is non-zero when any paper-vs-measured check fails.
 package main
@@ -22,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -29,6 +39,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -49,11 +60,26 @@ func run() int {
 		timing     = flag.Bool("time", false, "report the suite's wall-clock time on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		stats      = flag.Bool("stats", false, "collect runtime counters and append a counter appendix per experiment")
+		statsaddr  = flag.String("statsaddr", "", "serve the live counter registry over HTTP at this address (implies -stats)")
 	)
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*kworkers)
 	parallel.SetGrainFactor(*grainf)
+
+	var root *power8.StatsRegistry
+	if *stats || *statsaddr != "" {
+		root = power8.NewStatsRegistry("p8repro")
+		parallel.InstrumentShared(root)
+		if *statsaddr != "" {
+			go func() {
+				if err := http.ListenAndServe(*statsaddr, root); err != nil {
+					fmt.Fprintln(os.Stderr, "p8repro: stats server:", err)
+				}
+			}()
+		}
+	}
 
 	if *list {
 		for _, e := range power8.Experiments() {
@@ -101,14 +127,14 @@ func run() int {
 	start := time.Now()
 	var reports []*power8.Report
 	if *expID != "" {
-		rep, err := power8.Run(*expID, m, *quick)
+		rep, err := power8.RunObserved(*expID, m, *quick, root)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
 		reports = append(reports, rep)
 	} else {
-		reports = power8.RunAllParallel(m, *quick, *workers)
+		reports = power8.RunAllObserved(m, *quick, *workers, root)
 	}
 	if *timing {
 		fmt.Fprintf(os.Stderr, "p8repro: suite wall-clock %.2fs (parallel=%d)\n",
@@ -126,11 +152,18 @@ func run() int {
 			failed++
 		}
 	}
+	if root != nil {
+		printSharedStats(root, *markdown)
+	}
 	if !*markdown {
 		fmt.Printf("\n%d/%d experiments passed all checks\n", len(reports)-failed, len(reports))
 	}
 	if failed > 0 {
 		return 1
+	}
+	if *statsaddr != "" {
+		fmt.Fprintf(os.Stderr, "p8repro: serving counters on %s until interrupted\n", *statsaddr)
+		select {}
 	}
 	return 0
 }
@@ -150,6 +183,48 @@ func printText(rep *power8.Report) {
 	for _, c := range rep.Checks {
 		fmt.Println("    " + c.String())
 	}
+	if rep.Stats != nil && !rep.Stats.Empty() {
+		fmt.Println("  counters:")
+		printSnapshotText(*rep.Stats, "")
+	}
+}
+
+// printSnapshotText renders a snapshot tree as indented "path value"
+// lines (the text-mode counter appendix). The root's own name is elided:
+// it repeats the experiment id from the report header.
+func printSnapshotText(s power8.StatsSnapshot, prefix string) {
+	for _, c := range s.Counters {
+		fmt.Printf("    %-44s %12d\n", prefix+c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Printf("    %-44s %12d  (gauge)\n", prefix+g.Name, g.Value)
+	}
+	for _, d := range s.Distributions {
+		fmt.Printf("    %-44s n=%d mean=%.0f p50=%d p99=%d max=%d\n",
+			prefix+d.Name, d.Count, d.Mean, d.P50, d.P99, d.Max)
+	}
+	for _, child := range s.Children {
+		printSnapshotText(child, prefix+child.Name+"/")
+	}
+}
+
+// printSharedStats renders the process-wide scopes of an observed run —
+// today the kernel runtime's shared worker teams, which outlive any one
+// experiment and therefore cannot appear in per-experiment appendices.
+func printSharedStats(root *power8.StatsRegistry, markdown bool) {
+	s := root.Child("parallel").Snapshot()
+	if s.Empty() {
+		return
+	}
+	if markdown {
+		fmt.Printf("\n## Runtime counters (process-wide)\n\n")
+		fmt.Println("Shared kernel-runtime teams, aggregated over the whole run:")
+		fmt.Println()
+		obs.WriteMarkdown(os.Stdout, s)
+		return
+	}
+	fmt.Println("\n=== runtime counters (process-wide) ===")
+	printSnapshotText(s, "parallel/")
 }
 
 func printMarkdown(rep *power8.Report) {
@@ -174,5 +249,10 @@ func printMarkdown(rep *power8.Report) {
 		}
 		name := strings.ReplaceAll(c.String(), "|", "/")
 		fmt.Printf("| `%s` | %s |\n", name, status)
+	}
+	if rep.Stats != nil && !rep.Stats.Empty() {
+		fmt.Print("\n<details><summary>Counter appendix</summary>\n\n")
+		obs.WriteMarkdown(os.Stdout, *rep.Stats)
+		fmt.Println("\n</details>")
 	}
 }

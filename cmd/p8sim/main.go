@@ -9,6 +9,11 @@
 //	p8sim -fma -fmas 12 -threads 6          # Figure 5-style throughput
 //	p8sim -roofline -oi 0.8                 # attainable GFLOP/s at an OI
 //	p8sim -chase -ws 33554432               # simulate a pointer chase
+//	p8sim -chase -ws 33554432 -stats        # ...plus the walker's counters
+//
+// -stats prints the simulation counters the queried model paths
+// produced (the -chase walker's per-level hits and misses, the -random
+// DES engine's event and bank figures); see DESIGN.md "Observability".
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/machine"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/roofline"
 	"repro/internal/smt"
 	"repro/internal/trace"
@@ -44,8 +50,14 @@ func main() {
 		oi      = flag.Float64("oi", 1.0, "operational intensity (FLOP/byte)")
 		ws      = flag.Int64("ws", 32<<20, "chase working set in bytes")
 		huge    = flag.Bool("huge", false, "use 16 MiB pages for the chase")
+		stats   = flag.Bool("stats", false, "print simulation counters after the queries")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry("p8sim")
+	}
 
 	m := power8.NewE870()
 	ran := false
@@ -70,6 +82,12 @@ func main() {
 		ran = true
 		fmt.Printf("%d threads/core x %d lists: %v\n",
 			*threads, *lists, m.RandomAccessBandwidth(*threads, *lists))
+		if reg != nil {
+			// The analytic answer above has no events to count; run the
+			// DES cross-check so the stats show the queueing internals.
+			bw := m.SimulateRandomAccessObs(*threads, *lists, 200_000, reg)
+			fmt.Printf("DES cross-check: %v\n", bw)
+		}
 	}
 	if *doFMA {
 		ran = true
@@ -96,7 +114,7 @@ func main() {
 		if *huge {
 			page = arch.Page16M
 		}
-		w := m.NewWalker(machine.WalkerConfig{Page: page, DisablePrefetch: true})
+		w := m.NewWalker(machine.WalkerConfig{Page: page, DisablePrefetch: true, Obs: reg})
 		w.Run(trace.NewChase(0, lines, 1, 42), 0)
 		res := w.Run(trace.NewChase(0, lines, 1, 42), 2_000_000)
 		fmt.Printf("chase over %d bytes (%v pages): %.2f ns/access\n", *ws, page, res.AvgNs())
@@ -105,5 +123,11 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if reg != nil {
+		if s := reg.Snapshot(); !s.Empty() {
+			fmt.Println("\nsimulation counters:")
+			obs.WriteMarkdown(os.Stdout, s)
+		}
 	}
 }

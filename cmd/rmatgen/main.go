@@ -5,6 +5,12 @@
 //
 //	rmatgen -scale 20 -ef 16 -out edges.txt     # write "src dst" lines
 //	rmatgen -scale 20 -stats                    # degree statistics only
+//	rmatgen -scale 20 -out e.txt -runstats      # generator counters on stderr
+//
+// -stats describes the graph (degree distribution); -runstats describes
+// the run — edges generated and written, generation and write wall time
+// — using the same registry/exporter machinery as p8repro -stats (see
+// DESIGN.md "Observability").
 package main
 
 import (
@@ -12,8 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -24,8 +32,18 @@ func main() {
 		out        = flag.String("out", "", "output file (default stdout)")
 		stats      = flag.Bool("stats", false, "print degree statistics instead of edges")
 		undirected = flag.Bool("undirected", false, "mirror edges (symmetric adjacency)")
+		runstats   = flag.Bool("runstats", false, "print generator run counters on stderr at exit")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *runstats {
+		reg = obs.NewRegistry("rmatgen")
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\nrun counters:")
+			obs.WriteMarkdown(os.Stderr, reg.Snapshot())
+		}()
+	}
 
 	cfg := graph.DefaultRMAT(*scale, *seed)
 	cfg.EdgeFactor = *ef
@@ -68,11 +86,21 @@ func main() {
 	}
 	defer w.Flush()
 
+	genStart := time.Now()
 	src, dst := graph.RMATEdges(cfg)
+	reg.Distribution("generate_ns").Observe(time.Since(genStart).Nanoseconds())
+	reg.Counter("edges_generated").Add(uint64(len(src)))
+
+	writeStart := time.Now()
+	var written uint64
 	for i := range src {
 		fmt.Fprintf(w, "%d %d\n", src[i], dst[i])
+		written++
 		if cfg.Undirected {
 			fmt.Fprintf(w, "%d %d\n", dst[i], src[i])
+			written++
 		}
 	}
+	reg.Distribution("write_ns").Observe(time.Since(writeStart).Nanoseconds())
+	reg.Counter("edges_written").Add(written)
 }

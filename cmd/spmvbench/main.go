@@ -11,14 +11,23 @@
 //	spmvbench -mtx graph.mtx -twoscan -block 4096
 //	spmvbench -profile "LiveJournal" -sched static -threads 8
 //	spmvbench -profile "LiveJournal" -grain 64    # finer dynamic chunks
+//	spmvbench -profile "Wind Tunnel" -stats       # team-scheduling counters
+//
+// -stats instruments the kernel runtime's worker teams and prints their
+// counters after the run (dispatches, per-worker chunks and items, the
+// dynamic schedule's imbalance distribution); see DESIGN.md
+// "Observability" for the taxonomy. -statsaddr additionally serves the
+// live registry over HTTP for watching a long run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/spmv"
 )
@@ -35,8 +44,23 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "synthesis seed for -profile")
 		sched   = flag.String("sched", "dynamic", "CSR schedule: dynamic (atomic row chunks) or static (nnz-balanced pre-split)")
 		grain   = flag.Int("grain", 0, "dynamic chunk size in rows (0 = nnz-aware auto)")
+		stats   = flag.Bool("stats", false, "print kernel-runtime scheduling counters after the run")
+		addr    = flag.String("statsaddr", "", "serve the live counter registry over HTTP at this address (implies -stats)")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *stats || *addr != "" {
+		reg = obs.NewRegistry("spmvbench")
+		parallel.InstrumentShared(reg)
+		if *addr != "" {
+			go func() {
+				if err := http.ListenAndServe(*addr, reg); err != nil {
+					fatal(fmt.Errorf("stats server: %v", err))
+				}
+			}()
+		}
+	}
 
 	var opt spmv.Options
 	switch *sched {
@@ -96,6 +120,10 @@ func main() {
 		ts := spmv.NewTwoScan(m, *block)
 		rate2 := spmv.MeasureTwoScan(ts, *threads, *iters)
 		fmt.Printf("two-scan SpMV: %v (avg block nnz %.0f)\n", rate2, ts.AvgBlockNNZ())
+	}
+	if reg != nil {
+		fmt.Println("\nkernel-runtime counters:")
+		obs.WriteMarkdown(os.Stdout, reg.Snapshot())
 	}
 }
 

@@ -95,11 +95,18 @@ func (q *eventQueue) pop() scheduled {
 
 // Sim is a discrete-event simulation instance. The zero value is ready to
 // use.
+//
+// The simulator keeps its own observability counters as plain fields —
+// it is single-goroutine by construction, so they cost one ALU op each —
+// and PublishStats flushes them into an obs registry at run boundaries.
+// This is the flush-at-the-end idiom documented in internal/obs: the
+// event dispatch loop itself carries no instrumentation overhead.
 type Sim struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
-	events uint64
+	now      Time
+	seq      uint64
+	queue    eventQueue
+	events   uint64
+	maxQueue int
 }
 
 // Now returns the current simulated time.
@@ -108,6 +115,14 @@ func (s *Sim) Now() Time { return s.now }
 // Events returns the number of events executed so far.
 func (s *Sim) Events() uint64 { return s.events }
 
+// Scheduled returns the number of events scheduled so far (including
+// resource service completions).
+func (s *Sim) Scheduled() uint64 { return s.seq }
+
+// MaxQueueDepth returns the event queue's high-water mark: the largest
+// number of pending events observed at once.
+func (s *Sim) MaxQueueDepth() int { return s.maxQueue }
+
 // At schedules ev at absolute time t, which must not be in the past.
 func (s *Sim) At(t Time, ev Event) {
 	if t < s.now {
@@ -115,6 +130,9 @@ func (s *Sim) At(t Time, ev Event) {
 	}
 	s.seq++
 	s.queue.push(scheduled{at: t, seq: s.seq, call: ev})
+	if n := len(s.queue); n > s.maxQueue {
+		s.maxQueue = n
+	}
 }
 
 // After schedules ev delay nanoseconds from now; negative delays panic.
@@ -229,6 +247,9 @@ func (r *Resource) start(s *Sim, hold Time, done Event) {
 	r.BusyTime += float64(hold)
 	s.seq++
 	s.queue.push(scheduled{at: s.now + hold, seq: s.seq, call: done, release: r})
+	if n := len(s.queue); n > s.maxQueue {
+		s.maxQueue = n
+	}
 }
 
 // release frees one server and starts the oldest waiting request, if any.

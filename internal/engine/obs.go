@@ -1,0 +1,18 @@
+package engine
+
+import "repro/internal/obs"
+
+// PublishStats flushes the simulation's accumulated counters into a
+// registry scope: counters "events" and "scheduled", and gauge
+// "queue_depth_hwm" (kept as a maximum, so several Sims publishing into
+// one scope report the deepest queue any of them saw). Call it once per
+// Sim, after the run; a nil registry is a no-op. See internal/obs for
+// the counter taxonomy.
+func (s *Sim) PublishStats(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("events").Add(s.events)
+	reg.Counter("scheduled").Add(s.seq)
+	reg.Gauge("queue_depth_hwm").SetMax(int64(s.maxQueue))
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -22,6 +23,12 @@ type Context struct {
 	Quick bool
 	// Threads for host-run kernels; 0 means all CPUs.
 	Threads int
+	// Obs, when non-nil, is the registry scope this experiment's
+	// counters land in. The harness hands every experiment its own
+	// child registry, so counters from concurrently running experiments
+	// never smear together; runners thread it into the walkers and
+	// simulators they build. Nil (the default) runs uninstrumented.
+	Obs *obs.Registry
 }
 
 // Check is one paper-vs-produced comparison.
@@ -75,6 +82,10 @@ type Report struct {
 	Lines  []string // rendered rows/series in the paper's layout
 	Notes  []string // substitutions, calibrations, caveats
 	Checks []Check
+	// Stats is the experiment's counter snapshot when the run was
+	// observed (Context.Obs non-nil); nil otherwise. cmd/p8repro's
+	// -stats flag renders it as the per-experiment counter appendix.
+	Stats *obs.Snapshot
 }
 
 // Printf appends a formatted line to the report.

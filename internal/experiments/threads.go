@@ -38,6 +38,16 @@ func runFigure4(ctx *Context) *Report {
 	r.CheckMin("SMT8 x 4 lists reaches peak", at(8, 4)/peak, 0.999)
 	r.CheckMin("SMT4 x 8 lists reaches peak", at(4, 8)/peak, 0.999)
 	r.CheckMin("peak over SMT1 x 1 list (x)", peak/at(1, 1), 5)
+	if ctx.Obs != nil {
+		// The curve above is analytic; run the DES cross-check at the
+		// peak configuration so the appendix shows the event engine's
+		// counters (banks, chasers, queue depth, utilization).
+		horizon := 200_000.0
+		if ctx.Quick {
+			horizon = 50_000.0
+		}
+		ctx.Machine.SimulateRandomAccessObs(8, 4, horizon, ctx.Obs)
+	}
 	return r
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -22,6 +23,16 @@ import (
 // latency and the saturated random bandwidth), so agreement between the
 // two engines validates the queueing structure, not just the constants.
 func (m *Machine) SimulateRandomAccess(threads, streams int, horizonNs float64) units.Bandwidth {
+	return m.SimulateRandomAccessObs(threads, streams, horizonNs, nil)
+}
+
+// SimulateRandomAccessObs is SimulateRandomAccess publishing the
+// simulation's internals into a registry scope "des": events dispatched
+// and scheduled, the event-queue high-water mark, load completions, the
+// derived bank configuration and the banks' mean utilization (in
+// permille, since counters and gauges are integers). A nil registry
+// makes it identical to SimulateRandomAccess.
+func (m *Machine) SimulateRandomAccessObs(threads, streams int, horizonNs float64, reg *obs.Registry) units.Bandwidth {
 	if threads <= 0 || streams <= 0 || horizonNs <= 0 {
 		panic(fmt.Sprintf("machine: invalid DES parameters %d/%d/%g", threads, streams, horizonNs))
 	}
@@ -77,5 +88,17 @@ func (m *Machine) SimulateRandomAccess(threads, streams int, horizonNs float64) 
 		sim.At(engine.Time(offset), issue)
 	}
 	sim.Run(engine.Time(horizonNs))
+	if reg != nil {
+		des := reg.Child("des")
+		sim.PublishStats(des)
+		des.Counter("completions").Add(completions)
+		des.Gauge("banks").Set(int64(banks))
+		des.Gauge("chasers").Set(int64(chasers))
+		var busy float64
+		for _, b := range mem {
+			busy += b.Utilization(&sim)
+		}
+		des.Gauge("bank_utilization_permille").Set(int64(1000 * busy / float64(banks)))
+	}
 	return units.Bandwidth(float64(completions) * trace.LineSize / (horizonNs * 1e-9))
 }

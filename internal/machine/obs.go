@@ -1,0 +1,111 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// This file publishes the machine layer's counters into the obs
+// registry. The walker and the DES simulator accumulate into plain
+// fields on their hot paths (see the fields on Walker and engine.Sim)
+// and this code flushes deltas at run boundaries — so instrumentation
+// costs nothing per access, and an experiment's registry still ends up
+// with the same per-level hit counts a hardware PMU would have shown.
+//
+// Counter taxonomy under an experiment scope (see DESIGN.md
+// "Observability" for units and the paper artifact each group explains):
+//
+//	walker/accesses                demand loads issued
+//	walker/xlate/{erat_miss,tlb_miss}
+//	walker/hit/{l1,l2,l3,l3_remote,l4,dram,prefetch}
+//	walker/miss/{l1,l2,l3,l4}      demand loads satisfied past the level
+//	walker/prefetch/dscr<k>/{issued,streams_detected,confirmed,
+//	                         stale_dropped,hints}
+//	des/{events,scheduled,completions}, des/queue_depth_hwm,
+//	des/banks, des/chasers, des/bank_utilization_permille
+
+// walkerPublished records what a walker has already flushed, so repeated
+// PublishStats calls add exact deltas.
+type walkerPublished struct {
+	accesses     uint64
+	prefetchHits uint64
+	eratMisses   uint64
+	tlbMisses    uint64
+	staleDrops   uint64
+	hints        uint64
+	levelCounts  [cache.NumLevels]uint64
+	pfIssued     uint64
+	pfDetected   uint64
+}
+
+// levelSlug names a cache level in counter paths.
+func levelSlug(l cache.Level) string {
+	switch l {
+	case cache.LevelL1:
+		return "l1"
+	case cache.LevelL2:
+		return "l2"
+	case cache.LevelL3:
+		return "l3"
+	case cache.LevelL3Remote:
+		return "l3_remote"
+	case cache.LevelL4:
+		return "l4"
+	default:
+		return "dram"
+	}
+}
+
+// PublishStats flushes the walker's counter deltas into the registry
+// given as WalkerConfig.Obs, under a "walker" child scope. Run calls it
+// automatically at the end of every trace; explicit calls are only
+// needed around hand-rolled Access loops. With no registry configured it
+// returns immediately.
+func (w *Walker) PublishStats() {
+	if w.cfg.Obs == nil {
+		return
+	}
+	scope := w.cfg.Obs.Child("walker")
+	p := &w.published
+
+	scope.Counter("accesses").Add(w.accesses - p.accesses)
+	xl := scope.Child("xlate")
+	xl.Counter("erat_miss").Add(w.eratMisses - p.eratMisses)
+	xl.Counter("tlb_miss").Add(w.tlbMisses - p.tlbMisses)
+
+	// Per-level demand hit deltas, then the derived misses: a load
+	// satisfied at level k missed every level above it. The local and
+	// lateral-victim L3 probes count as one level for misses — miss/l3
+	// is traffic that left the chip's L3 complex entirely.
+	var d [cache.NumLevels]uint64
+	hit := scope.Child("hit")
+	for l := 0; l < cache.NumLevels; l++ {
+		d[l] = w.levelCounts[l] - p.levelCounts[l]
+		hit.Counter(levelSlug(cache.Level(l))).Add(d[l])
+	}
+	hit.Counter("prefetch").Add(w.prefetchHits - p.prefetchHits)
+	miss := scope.Child("miss")
+	dL3r, dL4, dDRAM := d[cache.LevelL3Remote], d[cache.LevelL4], d[cache.LevelDRAM]
+	miss.Counter("l1").Add(d[cache.LevelL2] + d[cache.LevelL3] + dL3r + dL4 + dDRAM)
+	miss.Counter("l2").Add(d[cache.LevelL3] + dL3r + dL4 + dDRAM)
+	miss.Counter("l3").Add(dL4 + dDRAM)
+	miss.Counter("l4").Add(dDRAM)
+
+	pf := scope.Child("prefetch").Child(fmt.Sprintf("dscr%d", w.cfg.Prefetch.DSCR))
+	pf.Counter("issued").Add(w.pf.Issued() - p.pfIssued)
+	pf.Counter("streams_detected").Add(w.pf.Detected() - p.pfDetected)
+	pf.Counter("confirmed").Add(w.prefetchHits - p.prefetchHits)
+	pf.Counter("stale_dropped").Add(w.staleDrops - p.staleDrops)
+	pf.Counter("hints").Add(w.hints - p.hints)
+
+	p.accesses = w.accesses
+	p.prefetchHits = w.prefetchHits
+	p.eratMisses = w.eratMisses
+	p.tlbMisses = w.tlbMisses
+	p.staleDrops = w.staleDrops
+	p.hints = w.hints
+	p.levelCounts = w.levelCounts
+	p.pfIssued = w.pf.Issued()
+	p.pfDetected = w.pf.Detected()
+}

@@ -3,6 +3,7 @@ package machine
 import (
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/tlb"
 	"repro/internal/trace"
@@ -35,6 +36,13 @@ type WalkerConfig struct {
 	// DisableVictimL3 turns off the NUCA lateral-castout behaviour
 	// (ablation studies).
 	DisableVictimL3 bool
+	// Obs, when non-nil, receives the walker's counters (accesses,
+	// per-level hits and misses, translation misses, prefetch
+	// issue/confirm/drop activity) under a "walker" child scope. The
+	// walker accumulates into plain fields on the access path and
+	// flushes deltas at Run boundaries (or on PublishStats), so a nil
+	// registry — the default — leaves the hot path untouched.
+	Obs *obs.Registry
 }
 
 // Walker simulates one hardware thread's dependent-load accesses with
@@ -57,6 +65,14 @@ type Walker struct {
 	prefetchHits uint64
 	eratMisses   uint64
 	tlbMisses    uint64
+	// staleDrops counts prefetches that completed but went stale before
+	// their demand access arrived (the Figure 8 overrun effect); hints
+	// counts DCBT stream declarations. Both feed the obs registry.
+	staleDrops uint64
+	hints      uint64
+	// published remembers the counter values already flushed to cfg.Obs
+	// so PublishStats adds exact deltas however often it runs.
+	published walkerPublished
 
 	// inflight maps line address -> prefetch completion time. Sized to
 	// the prefetch engine's stream capacity x run-ahead depth.
@@ -177,6 +193,7 @@ func (w *Walker) Access(addr uint64) float64 {
 			// footprints these experiments use, the line has been evicted
 			// again by intervening traffic. Treat it as a fresh demand.
 			w.inflight.del(line)
+			w.staleDrops++
 		}
 		level := w.hier.Read(line, home == w.cfg.Chip)
 		w.levelCounts[level]++
@@ -228,6 +245,7 @@ func (w *Walker) Hint(start uint64, lines, dir int) {
 	if w.cfg.DisablePrefetch {
 		return
 	}
+	w.hints++
 	for _, p := range w.pf.Hint(start, lines, dir) {
 		w.schedule(p)
 	}
@@ -249,6 +267,7 @@ func (w *Walker) Run(g trace.Generator, max int) WalkResult {
 			break
 		}
 	}
+	w.PublishStats()
 	return WalkResult{
 		Accesses: w.accesses - startAcc,
 		TotalNs:  w.totalNs - startNs,

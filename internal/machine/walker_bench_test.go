@@ -10,16 +10,21 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 func benchWalk(b *testing.B, gen func() trace.Generator, accesses int) {
+	benchWalkObs(b, gen, accesses, nil)
+}
+
+func benchWalkObs(b *testing.B, gen func() trace.Generator, accesses int, reg *obs.Registry) {
 	b.Helper()
 	m := New(arch.E870())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w := m.NewWalker(WalkerConfig{Chip: 0})
+		w := m.NewWalker(WalkerConfig{Chip: 0, Obs: reg})
 		w.Run(gen(), accesses)
 	}
 	b.ReportMetric(float64(accesses), "accesses/op")
@@ -60,5 +65,38 @@ func BenchmarkSimulateRandomAccess(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.SimulateRandomAccess(8, 4, 50000)
+	}
+}
+
+// The *Observed variants run the same workloads with a live registry
+// attached, pinning the enabled-instrumentation overhead contract (<3%
+// vs the uninstrumented benchmarks above; see DESIGN.md Observability).
+// The flush-at-the-end design makes the delta O(1) per Run, so the gap
+// should sit inside measurement noise.
+
+// BenchmarkWalkerSequentialObserved is BenchmarkWalkerSequential with
+// counters flushed into a registry at the end of every Run.
+func BenchmarkWalkerSequentialObserved(b *testing.B) {
+	benchWalkObs(b, func() trace.Generator {
+		return trace.NewSequential(0, 1<<30/trace.LineSize)
+	}, 50000, obs.NewRegistry("bench"))
+}
+
+// BenchmarkWalkerChaseObserved is BenchmarkWalkerChase instrumented.
+func BenchmarkWalkerChaseObserved(b *testing.B) {
+	benchWalkObs(b, func() trace.Generator {
+		return trace.NewChase(0, 64<<20/trace.LineSize, 4, 7)
+	}, 50000, obs.NewRegistry("bench"))
+}
+
+// BenchmarkSimulateRandomAccessObserved is BenchmarkSimulateRandomAccess
+// publishing the DES engine's counters after every simulation.
+func BenchmarkSimulateRandomAccessObserved(b *testing.B) {
+	m := New(arch.E870())
+	reg := obs.NewRegistry("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SimulateRandomAccessObs(8, 4, 50000, reg)
 	}
 }

@@ -10,6 +10,7 @@ package micro
 import (
 	"repro/internal/arch"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -38,15 +39,16 @@ func Figure2Sizes() []units.Bytes {
 // working-set size at the given page size, prefetching disabled (as the
 // paper configures lmbench). maxAccesses caps the measured accesses per
 // point (<= 0 means a full lap) to bound runtime on large sets; a full
-// warm lap always precedes measurement.
-func LatencyCurve(m *machine.Machine, page arch.PageSize, sizes []units.Bytes, maxAccesses int) []LatPoint {
+// warm lap always precedes measurement. A non-nil reg aggregates every
+// point's walker counters (nil runs uninstrumented).
+func LatencyCurve(m *machine.Machine, page arch.PageSize, sizes []units.Bytes, maxAccesses int, reg *obs.Registry) []LatPoint {
 	out := make([]LatPoint, 0, len(sizes))
 	for _, ws := range sizes {
 		lines := int(ws / 128)
 		if lines < 2 {
 			continue
 		}
-		w := m.NewWalker(machine.WalkerConfig{Page: page, DisablePrefetch: true})
+		w := m.NewWalker(machine.WalkerConfig{Page: page, DisablePrefetch: true, Obs: reg})
 		// The warm lap always covers the whole working set: capping it
 		// would leave only a cache-sized warmed prefix and the measured
 		// pass would hit the wrong level.

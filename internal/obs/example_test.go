@@ -1,0 +1,36 @@
+package obs_test
+
+import (
+	"os"
+
+	"repro/internal/obs"
+)
+
+// A registry is a tree of scopes; hot code resolves its metrics once and
+// updates them lock-free. A nil *Registry turns every operation into a
+// no-op, so instrumented code needs no "if enabled" plumbing.
+func ExampleRegistry() {
+	reg := obs.NewRegistry("run")
+
+	// Setup: resolve metrics once.
+	des := reg.Child("des")
+	events := des.Counter("events")
+	depth := des.Gauge("queue_depth_hwm")
+
+	// Hot path: atomic updates through the held pointers.
+	for i := 0; i < 1000; i++ {
+		events.Inc()
+		depth.SetMax(int64(i % 17))
+	}
+
+	// Disabled path: a nil registry yields nil metrics; all methods no-op.
+	var off *obs.Registry
+	off.Counter("ignored").Inc()
+
+	obs.WriteMarkdown(os.Stdout, reg.Snapshot())
+	// Output:
+	// | counter | value |
+	// |---|---:|
+	// | `des/events` | 1000 |
+	// | `des/queue_depth_hwm` (gauge) | 16 |
+}

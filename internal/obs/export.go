@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// This file renders snapshots for humans and machines: indented JSON
+// (the -statsaddr HTTP endpoint and machine-readable dumps) and Markdown
+// tables (the per-experiment counter appendix in EXPERIMENTS.md and the
+// -stats output of the command-line tools).
+
+// WriteJSON writes the snapshot as indented JSON. Slices inside a
+// Snapshot are sorted, so the bytes are deterministic for a
+// deterministic run.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteMarkdown renders the snapshot as Markdown tables: one counter
+// table and one distribution table per snapshot tree, with scope paths
+// flattened into the metric names ("des/events"). Empty scopes render
+// nothing.
+func WriteMarkdown(w io.Writer, s Snapshot) error {
+	var counters []CounterValue
+	var gauges []GaugeValue
+	var dists []DistSummary
+	flatten(s, "", &counters, &gauges, &dists)
+
+	if len(counters)+len(gauges) > 0 {
+		fmt.Fprintf(w, "| counter | value |\n|---|---:|\n")
+		for _, c := range counters {
+			fmt.Fprintf(w, "| `%s` | %d |\n", c.Name, c.Value)
+		}
+		for _, g := range gauges {
+			fmt.Fprintf(w, "| `%s` (gauge) | %d |\n", g.Name, g.Value)
+		}
+	}
+	if len(dists) > 0 {
+		if len(counters)+len(gauges) > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "| distribution | count | mean | p50 | p90 | p99 | max |\n|---|---:|---:|---:|---:|---:|---:|\n")
+		for _, d := range dists {
+			fmt.Fprintf(w, "| `%s` | %d | %.0f | %d | %d | %d | %d |\n",
+				d.Name, d.Count, d.Mean, d.P50, d.P90, d.P99, d.Max)
+		}
+	}
+	return nil
+}
+
+// flatten walks the snapshot tree accumulating path-qualified metric
+// rows. The root scope's own name is omitted from the paths — the
+// caller's heading already names it.
+func flatten(s Snapshot, prefix string, counters *[]CounterValue, gauges *[]GaugeValue, dists *[]DistSummary) {
+	join := func(name string) string {
+		if prefix == "" {
+			return name
+		}
+		return prefix + "/" + name
+	}
+	for _, c := range s.Counters {
+		*counters = append(*counters, CounterValue{Name: join(c.Name), Value: c.Value})
+	}
+	for _, g := range s.Gauges {
+		*gauges = append(*gauges, GaugeValue{Name: join(g.Name), Value: g.Value})
+	}
+	for _, d := range s.Distributions {
+		d.Name = join(d.Name)
+		*dists = append(*dists, d)
+	}
+	for _, child := range s.Children {
+		flatten(child, join(child.Name), counters, gauges, dists)
+	}
+}
+
+// ServeHTTP makes a Registry an expvar-style live stats endpoint: GET
+// returns the current snapshot as JSON (the default) or as Markdown with
+// ?format=markdown. Mount it on any mux, or hand the registry straight
+// to http.ListenAndServe — that is what the -statsaddr flags do for
+// long-running reproductions.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	snap := r.Snapshot()
+	if req.URL.Query().Get("format") == "markdown" {
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		_ = WriteMarkdown(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = WriteJSON(w, snap)
+}

@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+// These benchmarks pin the two halves of the overhead contract: an
+// enabled counter update is one uncontended atomic add, and a disabled
+// (nil) update is one predicted branch. The BENCH_*.json baselines
+// record both next to the instrumented hot-layer benchmarks.
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry("bench")
+	c := r.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDistributionObserve(b *testing.B) {
+	d := NewDistribution()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Observe(int64(i & 0xffff))
+	}
+}
+
+func BenchmarkDistributionObserveNil(b *testing.B) {
+	var d *Distribution
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Observe(int64(i))
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry("bench")
+	for _, scope := range []string{"a", "b", "c"} {
+		s := r.Child(scope)
+		for _, n := range []string{"x", "y", "z"} {
+			s.Counter(n).Add(7)
+			s.Distribution(n + "_d").Observe(42)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the kernel runtime: a persistent worker team whose
@@ -118,6 +119,7 @@ type Team struct {
 	job     teamJob // reused across calls: steady state allocates nothing
 	busy    atomic.Bool
 	closed  atomic.Bool
+	stats   *teamStats // nil when uninstrumented (see Instrument)
 }
 
 // teamJob describes one parallel-for. With bounds == nil the loop is
@@ -131,6 +133,14 @@ type teamJob struct {
 	bounds []int
 	body   func(worker, lo, hi int)
 	wg     sync.WaitGroup
+	// Per-worker tallies for the current job, allocated once by
+	// Instrument and reset per dispatch; nil when uninstrumented, which
+	// reduces the whole instrumentation to one branch per chunk pull.
+	// Each worker writes only its own slot; wg.Wait orders the flush.
+	chunks  []uint64
+	items   []uint64
+	startNs int64
+	firstNs atomic.Int64 // dispatch-to-first-chunk; -1 until a worker pulls
 }
 
 // NewTeam starts a team of `workers` goroutines (workers must be
@@ -174,9 +184,13 @@ func (t *Team) workerLoop(w int) {
 }
 
 func (j *teamJob) run(w int) {
+	instrumented := j.chunks != nil
 	if j.bounds != nil {
 		if w < len(j.bounds)-1 {
 			if lo, hi := j.bounds[w], j.bounds[w+1]; lo < hi {
+				if instrumented {
+					j.noteChunk(w, hi-lo)
+				}
 				j.body(w, lo, hi)
 			}
 		}
@@ -193,8 +207,22 @@ func (j *teamJob) run(w int) {
 		if end > j.n {
 			end = j.n
 		}
+		if instrumented {
+			j.noteChunk(w, end-int(start))
+		}
 		j.body(w, int(start), end)
 	}
+}
+
+// noteChunk tallies one pulled chunk. The first pull across all workers
+// also stamps the dispatch-to-first-chunk latency (the handoff cost a
+// kernel pays before any useful work starts).
+func (j *teamJob) noteChunk(w, items int) {
+	if j.firstNs.Load() < 0 {
+		j.firstNs.CompareAndSwap(-1, time.Now().UnixNano()-j.startNs)
+	}
+	j.chunks[w]++
+	j.items[w] += uint64(items)
 }
 
 // ParallelFor runs body over [0, n) with dynamic chunking: workers pull
@@ -248,6 +276,10 @@ func (t *Team) dispatch(n, grain int, bounds []int, body func(worker, lo, hi int
 		panic("parallel: concurrent parallel-for calls on one Team (a Team runs one loop at a time; use the package-level helpers for overlapping callers)")
 	}
 	defer t.busy.Store(false)
+	st := t.stats
+	if st != nil {
+		st.dispatches.Inc()
+	}
 	if bounds == nil {
 		if n <= 0 {
 			return
@@ -256,13 +288,22 @@ func (t *Team) dispatch(n, grain int, bounds []int, body func(worker, lo, hi int
 		// no cross-goroutine handoff, deterministic ascending order.
 		if t.workers == 1 || n <= grain {
 			body(0, 0, n)
+			if st != nil {
+				st.recordInline(1, uint64(n))
+			}
 			return
 		}
 	} else if t.workers == 1 {
+		var parts, items uint64
 		for p := 0; p+1 < len(bounds); p++ {
 			if bounds[p] < bounds[p+1] {
 				body(p, bounds[p], bounds[p+1])
+				parts++
+				items += uint64(bounds[p+1] - bounds[p])
 			}
+		}
+		if st != nil {
+			st.recordInline(parts, items)
 		}
 		return
 	}
@@ -279,11 +320,21 @@ func (t *Team) dispatch(n, grain int, bounds []int, body func(worker, lo, hi int
 	j := &t.job
 	j.n, j.grain, j.bounds, j.body = n, grain, bounds, body
 	j.next.Store(0)
+	if st != nil {
+		for w := range j.chunks {
+			j.chunks[w], j.items[w] = 0, 0
+		}
+		j.firstNs.Store(-1)
+		j.startNs = time.Now().UnixNano()
+	}
 	j.wg.Add(wake)
 	for w := 0; w < wake; w++ {
 		t.chans[w] <- j
 	}
 	j.wg.Wait()
+	if st != nil {
+		st.flush(j, wake)
+	}
 	j.body = nil
 	j.bounds = nil
 }
@@ -326,6 +377,7 @@ func sharedFor(workers int) *sharedTeam {
 	st := sharedTeams[workers]
 	if st == nil {
 		st = &sharedTeam{t: NewTeam(workers)}
+		st.t.Instrument(sharedObs) // no-op unless InstrumentShared ran
 		sharedTeams[workers] = st
 	}
 	return st

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // The team-vs-spawn comparison: the same trivial loop body run through a
@@ -25,6 +27,23 @@ func benchBody(sink *atomic.Int64) func(lo, hi int) {
 func BenchmarkParallelForTeam(b *testing.B) {
 	team := NewTeam(4)
 	defer team.Close()
+	var sink atomic.Int64
+	body := benchBody(&sink)
+	team.ParallelFor(benchN, 0, body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		team.ParallelFor(benchN, 0, body)
+	}
+}
+
+// BenchmarkParallelForTeamObserved is BenchmarkParallelForTeam with the
+// team's scheduling counters live (the enabled-overhead contract: one
+// branch plus two plain adds per chunk, one flush per dispatch).
+func BenchmarkParallelForTeamObserved(b *testing.B) {
+	team := NewTeam(4)
+	defer team.Close()
+	team.Instrument(obs.NewRegistry("bench"))
 	var sink atomic.Int64
 	body := benchBody(&sink)
 	team.ParallelFor(benchN, 0, body)

@@ -1,0 +1,171 @@
+// Command doccheck enforces the repo's documentation contract in CI:
+//
+//   - every exported identifier in the public packages (the root power8
+//     facade, internal/parallel, internal/obs) carries a doc comment, so
+//     godoc never shows a bare name;
+//   - every relative link in the top-level markdown documents resolves
+//     to a file in the repository, so README/DESIGN/EXPERIMENTS don't
+//     rot as files move.
+//
+// Usage (from the repo root, as the CI docs job runs it):
+//
+//	go run ./internal/tools/doccheck -pkgs .,internal/parallel,internal/obs \
+//	    -md README.md,DESIGN.md,EXPERIMENTS.md,ROADMAP.md
+//
+// Exit status is non-zero when any check fails; each failure prints as
+// "file:line: message" so editors can jump to it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	pkgs := flag.String("pkgs", ".", "comma-separated package directories to lint for missing doc comments")
+	md := flag.String("md", "", "comma-separated markdown files to check for broken relative links")
+	flag.Parse()
+
+	failures := 0
+	for _, dir := range split(*pkgs) {
+		failures += lintPackage(dir)
+	}
+	for _, file := range split(*md) {
+		failures += checkLinks(file)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// lintPackage reports every exported top-level identifier (and exported
+// method) in dir's non-test files that lacks a doc comment.
+func lintPackage(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	failures := 0
+	complain := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s:%d: exported %s %s has no doc comment\n", p.Filename, p.Line, what, name)
+		failures++
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil {
+						what := "function"
+						if d.Recv != nil {
+							what = "method"
+						}
+						complain(d.Pos(), what, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, complain)
+				}
+			}
+		}
+	}
+	return failures
+}
+
+// lintGenDecl checks a var/const/type declaration. A doc comment on the
+// enclosing block covers its specs (the grouped-const idiom); otherwise
+// each exported spec needs its own. Failures are counted by complain.
+func lintGenDecl(d *ast.GenDecl, complain func(token.Pos, string, string)) {
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				complain(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					complain(n.Pos(), kindOf(d.Tok), n.Name)
+				}
+			}
+		}
+	}
+}
+
+func kindOf(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// mdLink matches inline markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// checkLinks verifies every relative link target in one markdown file
+// exists on disk (anchors and external URLs are skipped).
+func checkLinks(file string) int {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	failures := 0
+	dir := filepath.Dir(file)
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: broken relative link %q\n", file, i+1, m[1])
+				failures++
+			}
+		}
+	}
+	return failures
+}

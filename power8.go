@@ -26,10 +26,12 @@ package power8
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -47,6 +49,20 @@ type Check = experiments.Check
 
 // Experiment is one table/figure reproduction from the registry.
 type Experiment = experiments.Experiment
+
+// StatsRegistry is the hierarchical metrics registry behind the -stats
+// machinery; see internal/obs for the full API (counters, gauges,
+// distributions, scoped children, exporters). All methods are no-ops on
+// a nil *StatsRegistry, so instrumentation points cost one branch when
+// observation is off.
+type StatsRegistry = obs.Registry
+
+// StatsSnapshot is a point-in-time copy of a StatsRegistry scope,
+// renderable as JSON or a Markdown table; see internal/obs.
+type StatsSnapshot = obs.Snapshot
+
+// NewStatsRegistry constructs a named root registry for an observed run.
+func NewStatsRegistry(name string) *StatsRegistry { return obs.NewRegistry(name) }
 
 // E870Spec returns the specification of the paper's evaluation system:
 // eight 8-core POWER8 chips at 4.35 GHz in two groups (Table II).
@@ -102,12 +118,61 @@ func RunAll(m *Machine, quick bool) []*Report {
 // one machine is safely shared by every worker, and a parallel run
 // produces the same reports as a sequential one.
 func RunAllParallel(m *Machine, quick bool, workers int) []*Report {
+	return RunAllObserved(m, quick, workers, nil)
+}
+
+// RunObserved is Run with instrumentation: the experiment's counters
+// land in a child scope of root named after the experiment id, and the
+// returned report carries that scope's snapshot in Report.Stats. A nil
+// root behaves exactly like Run.
+func RunObserved(id string, m *Machine, quick bool, root *StatsRegistry) (*Report, error) {
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("power8: unknown experiment %q", id)
+	}
+	return runObserved(exp, m, quick, root, true), nil
+}
+
+// RunAllObserved is RunAllParallel with instrumentation. Every
+// experiment gets its own child registry keyed by its id, so counters
+// from concurrently running experiments land in separate scopes instead
+// of smearing into shared ones. Allocation deltas are recorded only on
+// sequential runs (workers == 1): runtime.MemStats is process-global and
+// cannot be attributed to one experiment while others run. A nil root
+// disables instrumentation entirely.
+func RunAllObserved(m *Machine, quick bool, workers int, root *StatsRegistry) []*Report {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
+	recordAllocs := workers == 1
 	return parallel.Map(workers, experiments.All(), func(_ int, e Experiment) *Report {
 		// A fresh Context per worker: the struct itself is shared-nothing
 		// even if a future field gains experiment-local mutable state.
-		return e.Run(&experiments.Context{Machine: m, Quick: quick})
+		return runObserved(e, m, quick, root, recordAllocs)
 	})
+}
+
+// runObserved executes one experiment inside its own registry scope and
+// attaches the scope's snapshot plus the harness metrics (wall time as a
+// distribution, allocations as a gauge) to the report.
+func runObserved(e Experiment, m *Machine, quick bool, root *obs.Registry, recordAllocs bool) *Report {
+	scope := root.Child(e.ID) // nil root -> nil scope: uninstrumented
+	var m0 runtime.MemStats
+	if root != nil && recordAllocs {
+		runtime.ReadMemStats(&m0)
+	}
+	start := time.Now()
+	rep := e.Run(&experiments.Context{Machine: m, Quick: quick, Obs: scope})
+	if root != nil {
+		h := scope.Child("harness")
+		h.Distribution("wall_ns").Observe(time.Since(start).Nanoseconds())
+		if recordAllocs {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			h.Gauge("allocs").Set(int64(m1.Mallocs - m0.Mallocs))
+		}
+		s := scope.Snapshot()
+		rep.Stats = &s
+	}
+	return rep
 }
