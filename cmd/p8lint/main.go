@@ -1,0 +1,68 @@
+// Command p8lint runs the repo's custom static-analysis suite: the
+// five analyzers that turn the codebase's prose contracts — obs
+// nil-safety, hot-path allocation discipline, simulator determinism,
+// the frozen Machine, and kernel-runtime usage — into machine-checked
+// rules. See DESIGN.md "Static analysis" for the rules and the
+// //p8:allow suppression protocol.
+//
+// Usage:
+//
+//	p8lint [-list] [packages]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Findings print as file:line:col: analyzer: message; any finding
+// makes the exit status 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tools/analyzers"
+	"repro/internal/tools/analyzers/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := Lint(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p8lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range findings {
+		fmt.Println(d)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "p8lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// Lint loads the patterns against the module containing dir and runs
+// the full suite, returning the surviving findings.
+func Lint(dir string, patterns []string) ([]analysis.Diagnostic, error) {
+	loader, err := analysis.NewModuleLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(loader.Fset, pkgs, analyzers.All())
+}

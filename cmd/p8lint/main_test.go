@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestRepoIsClean is the suite's meta-test: `p8lint ./...` must exit
+// clean on the repository itself. Every contract the analyzers encode
+// is load-bearing (determinism of the paper-order reports, the
+// race-freedom of RunAllParallel, the walker's allocation budget), so
+// a finding here is a real regression, not style noise. Deliberate,
+// justified deviations are visible as //p8:allow comments in the tree,
+// not as exclusions here.
+func TestRepoIsClean(t *testing.T) {
+	findings, err := Lint(".", []string{"./..."})
+	if err != nil {
+		t.Fatalf("p8lint failed to run: %v", err)
+	}
+	for _, d := range findings {
+		t.Errorf("%v", d)
+	}
+	if n := len(findings); n > 0 {
+		t.Fatalf("p8lint ./... reported %d finding(s); fix them or add //p8:allow with a justification", n)
+	}
+}

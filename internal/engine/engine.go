@@ -43,6 +43,9 @@ func (a scheduled) before(b scheduled) bool {
 // the children of node i are nodes 4i+1 .. 4i+4.
 type eventQueue []scheduled
 
+// push inserts one event, sifting it up to heap position.
+//
+//p8:hotpath
 func (q *eventQueue) push(ev scheduled) {
 	h := append(*q, ev)
 	i := len(h) - 1
@@ -58,6 +61,8 @@ func (q *eventQueue) push(ev scheduled) {
 }
 
 // pop removes and returns the minimum. The queue must be non-empty.
+//
+//p8:hotpath
 func (q *eventQueue) pop() scheduled {
 	h := *q
 	top := h[0]
@@ -152,6 +157,8 @@ func (s *Sim) Step() bool {
 
 // dispatch runs one popped event: the resource release protocol first,
 // then the scheduled callback.
+//
+//p8:hotpath
 func (s *Sim) dispatch(ev scheduled) {
 	if ev.release != nil {
 		ev.release.release(s)
@@ -165,7 +172,11 @@ func (s *Sim) dispatch(ev scheduled) {
 // exceeds horizon (0 means no horizon). It returns the number of events
 // executed by this call. The pop is inlined here rather than routed
 // through Step so the head of the queue is examined once per event, not
-// twice.
+// twice. Event-loop throughput and its allocation budget are pinned by
+// BenchmarkSchedule and BenchmarkSimPointerChase in
+// engine_bench_test.go.
+//
+//p8:hotpath
 func (s *Sim) Run(horizon Time) uint64 {
 	start := s.events
 	for len(s.queue) > 0 {
@@ -215,6 +226,8 @@ func NewResource(name string, servers int) *Resource {
 // Acquire requests one server for hold nanoseconds; when service finishes,
 // done is scheduled (it may be nil). Requests queue FIFO when all servers
 // are busy.
+//
+//p8:hotpath
 func (r *Resource) Acquire(s *Sim, hold Time, done Event) {
 	if hold < 0 {
 		panic("engine: negative hold time")
@@ -228,6 +241,8 @@ func (r *Resource) Acquire(s *Sim, hold Time, done Event) {
 
 // dequeue removes and returns the oldest waiting request; ok is false
 // when the queue is empty.
+//
+//p8:hotpath
 func (r *Resource) dequeue() (pending, bool) {
 	if r.head == len(r.waiting) {
 		return pending{}, false
@@ -242,6 +257,9 @@ func (r *Resource) dequeue() (pending, bool) {
 	return next, true
 }
 
+// start occupies one server and books its completion event.
+//
+//p8:hotpath
 func (r *Resource) start(s *Sim, hold Time, done Event) {
 	r.busy++
 	r.BusyTime += float64(hold)
@@ -254,6 +272,8 @@ func (r *Resource) start(s *Sim, hold Time, done Event) {
 
 // release frees one server and starts the oldest waiting request, if any.
 // It runs from the event dispatch loop when a service completes.
+//
+//p8:hotpath
 func (r *Resource) release(s *Sim) {
 	r.busy--
 	if next, ok := r.dequeue(); ok {

@@ -7,7 +7,10 @@ import (
 )
 
 // BenchmarkSchedule measures raw push+pop throughput of the event queue
-// under a randomized arrival pattern (the DES hot path).
+// under a randomized arrival pattern (the DES hot path). The event loop
+// it pins (eventQueue.push/pop, Sim.Run/dispatch, the Resource service
+// protocol) carries //p8:hotpath directives, so p8lint holds its
+// zero-allocation budget statically.
 func BenchmarkSchedule(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	times := make([]Time, 4096)

@@ -43,6 +43,8 @@ func (t *inflightTable) slot(line uint64) int {
 }
 
 // get returns the completion time booked for line.
+//
+//p8:hotpath
 func (t *inflightTable) get(line uint64) (float64, bool) {
 	mask := len(t.keys) - 1
 	for i := t.slot(line); ; i = (i + 1) & mask {
@@ -57,6 +59,8 @@ func (t *inflightTable) get(line uint64) (float64, bool) {
 }
 
 // put inserts or overwrites the completion time for line.
+//
+//p8:hotpath
 func (t *inflightTable) put(line uint64, done float64) {
 	if 4*(t.count+1) > 3*len(t.keys) {
 		t.grow()
@@ -79,6 +83,8 @@ func (t *inflightTable) put(line uint64, done float64) {
 
 // del removes line if present, using backward-shift deletion so probe
 // chains stay tombstone-free.
+//
+//p8:hotpath
 func (t *inflightTable) del(line uint64) {
 	mask := len(t.keys) - 1
 	i := t.slot(line)

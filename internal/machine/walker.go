@@ -155,6 +155,12 @@ func (w *Walker) levelLatencyNs(level cache.Level, home arch.ChipID, strided boo
 // Access performs one dependent load and returns its latency in
 // nanoseconds. Simulated time advances by the returned latency: the next
 // access cannot issue before this one completes.
+//
+// Its zero-allocation budget is pinned by BenchmarkWalkerSequential,
+// BenchmarkWalkerChase and BenchmarkWalkerBlockedRandom in
+// walker_bench_test.go.
+//
+//p8:hotpath
 func (w *Walker) Access(addr uint64) float64 {
 	var latency float64
 	switch w.xl.Translate(addr) {
@@ -219,6 +225,10 @@ func (w *Walker) Access(addr uint64) float64 {
 // one prefetch stream), which is what floors the observed steady-state
 // latency at UncoreLatency.MinPrefetchedNs and its distance-scaled
 // variants.
+//
+// Runs once per prefetch candidate inside Access; same budget.
+//
+//p8:hotpath
 func (w *Walker) schedule(lineAddr uint64) {
 	if w.hier.ContainsAny(lineAddr) {
 		return
@@ -326,11 +336,14 @@ func (w *Walker) Stats() WalkerStats {
 // DominantLevel returns the level that satisfied the most demand reads
 // (prefetch hits excluded); ok is false when nothing was simulated.
 func (s WalkerStats) DominantLevel() (cache.Level, bool) {
+	// Iterate levels in hierarchy order rather than ranging over the
+	// map: map order would break ties arbitrarily between runs, and the
+	// fixed order resolves them toward the closest level.
 	var best cache.Level
 	var n uint64
-	for l, c := range s.Levels {
-		if c > n {
-			best, n = l, c
+	for l := 0; l < cache.NumLevels; l++ {
+		if c := s.Levels[cache.Level(l)]; c > n {
+			best, n = cache.Level(l), c
 		}
 	}
 	return best, n > 0

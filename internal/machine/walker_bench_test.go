@@ -4,7 +4,10 @@ package machine
 // cross-check. Every latency figure in the reproduction funnels through
 // Walker.Access, and Figure 4's validation funnels through
 // SimulateRandomAccess, so ns/op and allocs/op here bound the whole
-// suite's wall-clock.
+// suite's wall-clock. The functions these benchmarks pin carry a
+// //p8:hotpath directive (Walker.Access, Walker.schedule, the inflight
+// table), so p8lint rejects allocation- and randomness-introducing
+// edits before the numbers move.
 
 import (
 	"testing"

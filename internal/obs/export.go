@@ -84,7 +84,18 @@ func flatten(s Snapshot, prefix string, counters *[]CounterValue, gauges *[]Gaug
 // to http.ListenAndServe — that is what the -statsaddr flags do for
 // long-running reproductions.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
-	snap := r.Snapshot()
+	if r == nil {
+		// A nil registry stays mountable: it serves its empty snapshot,
+		// so handlers need no guards when observability is disabled.
+		serveSnapshot(w, req, Snapshot{})
+		return
+	}
+	serveSnapshot(w, req, r.Snapshot())
+}
+
+// serveSnapshot renders one snapshot as JSON (the default) or as
+// Markdown with ?format=markdown.
+func serveSnapshot(w http.ResponseWriter, req *http.Request, snap Snapshot) {
 	if req.URL.Query().Get("format") == "markdown" {
 		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
 		_ = WriteMarkdown(w, snap)

@@ -69,6 +69,20 @@ func TestNilRegistryIsInert(t *testing.T) {
 	if !r.Snapshot().Empty() {
 		t.Error("nil registry snapshot not empty")
 	}
+	// A nil registry stays mountable: its handler serves the empty
+	// snapshot instead of dereferencing.
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil registry handler returned %d", rec.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("nil registry handler body is not JSON: %v", err)
+	}
+	if !snap.Empty() {
+		t.Errorf("nil registry handler served a non-empty snapshot: %+v", snap)
+	}
 }
 
 func TestDistributionSummary(t *testing.T) {

@@ -183,6 +183,13 @@ func (t *Team) workerLoop(w int) {
 	}
 }
 
+// run is the per-worker pull loop: static jobs execute their one
+// bounded range, dynamic jobs pull grain-sized chunks off the shared
+// cursor until the range is exhausted. Its handoff cost is pinned by
+// BenchmarkParallelForTeam and BenchmarkStaticForTeam in
+// team_bench_test.go.
+//
+//p8:hotpath
 func (j *teamJob) run(w int) {
 	instrumented := j.chunks != nil
 	if j.bounds != nil {
@@ -199,7 +206,7 @@ func (j *teamJob) run(w int) {
 	g := int64(j.grain)
 	n := int64(j.n)
 	for {
-		start := j.next.Add(g) - g
+		start := j.next.Add(g) - g //p8:allow hotpath: the shared chunk cursor is the one designed-in atomic — one fetch-add per grain-sized chunk, amortized across the whole chunk
 		if start >= n {
 			return
 		}
@@ -268,14 +275,21 @@ func (t *Team) StaticRanges(bounds []int, body func(part, lo, hi int)) {
 	t.dispatch(bounds[len(bounds)-1], 0, bounds, body)
 }
 
+// dispatch publishes one job to the team and waits for it to drain. It
+// runs once per parallel loop — not per item — so the runtime checks
+// and instrumentation stamps below are amortized over the whole loop;
+// each carries its own //p8:allow. Dispatch latency is pinned by
+// BenchmarkParallelForTeam and the dispatch_to_first_chunk_ns counter.
+//
+//p8:hotpath
 func (t *Team) dispatch(n, grain int, bounds []int, body func(worker, lo, hi int)) {
-	if t.closed.Load() {
+	if t.closed.Load() { //p8:allow hotpath: use-after-Close check, once per loop
 		panic("parallel: use of a closed Team")
 	}
-	if !t.busy.CompareAndSwap(false, true) {
+	if !t.busy.CompareAndSwap(false, true) { //p8:allow hotpath: concurrent-dispatch check, once per loop
 		panic("parallel: concurrent parallel-for calls on one Team (a Team runs one loop at a time; use the package-level helpers for overlapping callers)")
 	}
-	defer t.busy.Store(false)
+	defer t.busy.Store(false) //p8:allow hotpath: releases the dispatch slot, once per loop
 	st := t.stats
 	if st != nil {
 		st.dispatches.Inc()
@@ -319,13 +333,13 @@ func (t *Team) dispatch(n, grain int, bounds []int, body func(worker, lo, hi int
 	}
 	j := &t.job
 	j.n, j.grain, j.bounds, j.body = n, grain, bounds, body
-	j.next.Store(0)
+	j.next.Store(0) //p8:allow hotpath: resets the chunk cursor the workers will fetch-add, once per loop
 	if st != nil {
 		for w := range j.chunks {
 			j.chunks[w], j.items[w] = 0, 0
 		}
-		j.firstNs.Store(-1)
-		j.startNs = time.Now().UnixNano()
+		j.firstNs.Store(-1)               //p8:allow hotpath: instrumented dispatches only, once per loop
+		j.startNs = time.Now().UnixNano() //p8:allow hotpath: instrumented dispatches only — the dispatch-to-first-chunk stamp needs wall time
 	}
 	j.wg.Add(wake)
 	for w := 0; w < wake; w++ {

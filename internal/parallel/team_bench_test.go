@@ -11,6 +11,9 @@ import (
 // The team-vs-spawn comparison: the same trivial loop body run through a
 // persistent team (goroutines created once) and through the
 // spawn-per-call pattern every kernel used before the team existed.
+// teamJob.run and Team.dispatch carry //p8:hotpath directives keyed to
+// these benchmarks; their deliberate atomics are itemized in //p8:allow
+// comments in team.go.
 
 const benchN = 1 << 16
 

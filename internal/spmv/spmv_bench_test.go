@@ -18,7 +18,7 @@ import (
 //     chunks rebalance; on a banded (uniform) matrix static has the
 //     lower overhead.
 
-func benchRMAT() *graph.CSR   { return graph.RMAT(graph.DefaultRMAT(14, 1)) }
+func benchRMAT() *graph.CSR { return graph.RMAT(graph.DefaultRMAT(14, 1)) }
 func benchBanded() *graph.CSR {
 	return graph.Generate(graph.MatrixProfile{
 		Name: "banded", N: 1 << 14, NNZ: 1 << 18, Kind: graph.KindBanded,

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// SuppressorName is the pseudo-analyzer that owns findings about the
+// suppression protocol itself (malformed //p8:allow comments).
+const SuppressorName = "p8lint"
+
+// An allowDirective is one parsed //p8:allow comment.
+type allowDirective struct {
+	analyzer      string
+	justification string
+	file          string
+	line          int
+}
+
+// Run executes every analyzer over every package and returns the
+// surviving findings, sorted by position.
+//
+// Suppression protocol: a finding from analyzer A at file:line L is
+// suppressed by a comment
+//
+//	//p8:allow A: <justification>
+//
+// placed either at the end of line L or alone on line L-1. The
+// justification is mandatory — an allow without one is itself reported
+// (analyzer "p8lint") — so every suppression in the tree documents why
+// the contract is waived at that point.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var allows []allowDirective
+	for _, pkg := range pkgs {
+		a, bad := scanAllows(fset, pkg)
+		allows = append(allows, a...)
+		diags = append(diags, bad...)
+		for _, an := range analyzers {
+			pass := &Pass{
+				Analyzer:  an,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := an.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	diags = suppress(diags, allows)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// scanAllows collects the //p8:allow directives of one package and
+// reports malformed ones.
+func scanAllows(fset *token.FileSet, pkg *Package) ([]allowDirective, []Diagnostic) {
+	var allows []allowDirective
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//p8:allow")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				name, just, found := strings.Cut(strings.TrimSpace(rest), ":")
+				name = strings.TrimSpace(name)
+				just = strings.TrimSpace(just)
+				if name == "" || !found || just == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: SuppressorName,
+						Message:  "p8:allow needs an analyzer and a justification: //p8:allow <analyzer>: <why>",
+					})
+					continue
+				}
+				allows = append(allows, allowDirective{
+					analyzer:      name,
+					justification: just,
+					file:          pos.Filename,
+					line:          pos.Line,
+				})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// suppress drops findings covered by an allow directive on the same
+// line or the line above.
+func suppress(diags []Diagnostic, allows []allowDirective) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := map[key]bool{}
+	for _, a := range allows {
+		covered[key{a.file, a.line, a.analyzer}] = true
+		covered[key{a.file, a.line + 1, a.analyzer}] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

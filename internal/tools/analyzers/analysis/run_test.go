@@ -1,0 +1,85 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// TestMalformedAllow checks that a //p8:allow comment without an
+// analyzer name or justification is itself reported, under the
+// suppressor's own name, even when no analyzer fires.
+func TestMalformedAllow(t *testing.T) {
+	l := analysis.NewLoader("testdata/src")
+	pkgs, err := l.Load("allowcheck")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(l.Fset, pkgs, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (the two malformed comments): %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != analysis.SuppressorName {
+			t.Errorf("diagnostic attributed to %q, want %q", d.Analyzer, analysis.SuppressorName)
+		}
+		if !strings.Contains(d.Message, "p8:allow") {
+			t.Errorf("message %q does not mention p8:allow", d.Message)
+		}
+	}
+}
+
+// TestSuppression checks that a well-formed allow on the same line or
+// the line above silences exactly its named analyzer.
+func TestSuppression(t *testing.T) {
+	l := analysis.NewLoader("testdata/src")
+	pkgs, err := l.Load("allowcheck")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+
+	// fire reports one finding per function declaration line.
+	fire := func(name string) *analysis.Analyzer {
+		return &analysis.Analyzer{
+			Name: name,
+			Doc:  "test analyzer",
+			Run: func(p *analysis.Pass) error {
+				for _, f := range p.Files {
+					for _, d := range f.Decls {
+						p.Reportf(d.Pos(), "finding from %s", name)
+					}
+				}
+				return nil
+			},
+		}
+	}
+
+	diags, err := analysis.Run(l.Fset, pkgs, []*analysis.Analyzer{fire("hotpath"), fire("other")})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var hotpathLines, otherLines []int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "hotpath":
+			hotpathLines = append(hotpathLines, d.Pos.Line)
+		case "other":
+			otherLines = append(otherLines, d.Pos.Line)
+		}
+	}
+	// Three decl lines fire per analyzer (ok, missingWhy, missingAll —
+	// the var lines share one GenDecl each). The allow above ok() names
+	// hotpath only, so hotpath loses exactly the ok() line and "other"
+	// keeps all of its findings.
+	if len(hotpathLines) != len(otherLines)-1 {
+		t.Errorf("hotpath reported %d lines %v, want one fewer than other's %d %v",
+			len(hotpathLines), hotpathLines, len(otherLines), otherLines)
+	}
+}

@@ -1,0 +1,22 @@
+// Package allowcheck carries one well-formed and two malformed
+// p8:allow comments for the runner's suppression test.
+package allowcheck
+
+// Fine: analyzer name and justification.
+//
+//p8:allow hotpath: justified in the runner test
+func ok() {}
+
+// Missing the justification after the analyzer name.
+//
+//p8:allow hotpath
+func missingWhy() {}
+
+// Missing the colon separator entirely.
+//
+//p8:allow
+func missingAll() {}
+
+var _ = ok
+var _ = missingWhy
+var _ = missingAll

@@ -1,0 +1,116 @@
+// Package analysistest runs an analyzer over golden packages and
+// checks its findings against expectations written in the source, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which the
+// dependency-free module cannot import).
+//
+// Golden packages live in a GOPATH-style tree, conventionally
+// testdata/src/<pkg>/ next to the analyzer. Expectations are comments
+// of the form
+//
+//	x := bad() // want `regexp`
+//
+// where each back- or double-quoted string after "want" is a regular
+// expression that must match the message of a finding reported on that
+// line. Every expectation must be matched and every finding must be
+// expected; anything else fails the test. The //p8:allow suppression
+// protocol is active, so golden files can also pin down suppression
+// behaviour itself.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// wantRx extracts the quoted regexps of one want comment.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// expectation is one "// want" pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each golden package from testdata/src, applies the
+// analyzer, and reports any divergence between findings and want
+// comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(filepath.Join(testdata, "src"))
+	pkgs, err := loader.Load(pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading golden packages: %v", err)
+	}
+	diags, err := analysis.Run(loader.Fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		w, err := parseWants(loader.Fset, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, w...)
+	}
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %v", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// parseWants scans a package's comments for want expectations.
+func parseWants(fset *token.FileSet, pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRx.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					return nil, fmt.Errorf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return out, nil
+}

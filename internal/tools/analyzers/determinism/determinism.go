@@ -1,0 +1,256 @@
+// Package determinism enforces the bit-reproducibility contract of the
+// simulation core. The paper's figures are regenerated from scratch on
+// every run, and EXPERIMENTS.md is committed generated output, so two
+// runs of the same binary must render byte-identical reports.
+//
+// Two rule groups, keyed by package name:
+//
+//  1. In the simulation packages (machine, engine, experiments): no
+//     wall-clock reads (time.Now, time.Since, ...) and no math/rand —
+//     simulated time and the seeded repro/internal/rng only.
+//
+//  2. In the simulation packages plus obs (whose exporters render the
+//     reports): ranging over a map must not let Go's randomized
+//     iteration order reach output. A map range is clean when its body
+//     only accumulates commutatively: writes into other maps, compound
+//     ops (+=, |=, ...), increments, deletes, writes to variables
+//     declared inside the loop, and the collect-keys-then-sort idiom
+//     (append into a slice that a sort.* / slices.Sort* call covers
+//     later in the file). Everything else — plain assignments to outer
+//     variables, calls, returns, sends — is flagged, because each one
+//     can leak iteration order into reports (last-writer-wins picks,
+//     arbitrary-element returns, emit calls).
+//
+// Deviations are suppressed per line with
+// `//p8:allow determinism: <why>`.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// simPackages need rule 1 (and rule 2).
+var simPackages = map[string]bool{"machine": true, "engine": true, "experiments": true}
+
+// orderedPackages need rule 2: simPackages plus the exporters.
+var orderedPackages = map[string]bool{"machine": true, "engine": true, "experiments": true, "obs": true}
+
+// wallClock is the banned wall-clock surface of package time.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "simulation and reporting packages must not read wall clocks, use math/rand, or let map iteration order reach output",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	name := pass.Pkg.Name()
+	sim, ordered := simPackages[name], orderedPackages[name]
+	if !sim && !ordered {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if sim {
+					checkIdent(pass, n)
+				}
+			case *ast.RangeStmt:
+				if ordered && pass.IsMap(n.X) {
+					checkMapRange(pass, f, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkIdent flags wall-clock and math/rand references.
+func checkIdent(pass *analysis.Pass, id *ast.Ident) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if _, ok := obj.(*types.Func); ok && wallClock[obj.Name()] {
+			pass.Reportf(id.Pos(), "time.%s in a deterministic package; use simulated time (wall time belongs in the harness)", id.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(id.Pos(), "math/rand in a deterministic package; use the seeded repro/internal/rng")
+	}
+}
+
+// checkMapRange classifies every statement of a map-range body and
+// reports the ones that can observe iteration order.
+func checkMapRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+	c := &rangeChecker{pass: pass, file: file, rs: rs}
+	c.stmts(rs.Body.List)
+}
+
+type rangeChecker struct {
+	pass *analysis.Pass
+	file *ast.File
+	rs   *ast.RangeStmt
+}
+
+const fixHint = "iterate sorted keys instead"
+
+// report records one finding at pos.
+func (c *rangeChecker) report(pos token.Pos, format string, args ...interface{}) {
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *rangeChecker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *rangeChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		// Counting is commutative.
+	case *ast.DeclStmt:
+		// Declares loop-local state.
+	case *ast.BranchStmt:
+		// continue/break carry no order information by themselves.
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+				return
+			}
+		}
+		c.report(s.Pos(), "a call inside a map range runs in randomized order; "+fixHint)
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmts(s.Body.List)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		c.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		// The nested range is classified on its own visit; its body is
+		// still part of this loop's body.
+		c.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			c.stmts(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			c.stmts(cc.(*ast.CaseClause).Body)
+		}
+	case *ast.ReturnStmt:
+		c.report(s.Pos(), "returning from inside a map range selects an arbitrary element; "+fixHint)
+	default:
+		// go, defer, select, sends, labels: all can observe order.
+		c.report(s.Pos(), "this statement depends on map iteration order; "+fixHint)
+	}
+}
+
+// assign allows commutative accumulation and loop-local writes, plus
+// the collect-then-sort idiom; anything else is order-dependent.
+func (c *rangeChecker) assign(s *ast.AssignStmt) {
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound ops (+=, -=, *=, |=, ^=, &=, ...) accumulate
+		// commutatively enough for reporting purposes.
+		return
+	}
+	for i, lhs := range s.Lhs {
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if l.Name == "_" || c.localTo(l, c.rs) {
+				continue
+			}
+			if i == 0 && len(s.Lhs) == 1 && len(s.Rhs) == 1 && c.appendSorted(l, s.Rhs[0]) {
+				continue
+			}
+			c.report(lhs.Pos(), "map iteration order can reach %q through this assignment (last writer wins); "+fixHint, l.Name)
+		case *ast.IndexExpr:
+			if c.pass.IsMap(l.X) {
+				continue // keyed map writes are order-independent
+			}
+			c.report(lhs.Pos(), "writing a slice slot from a map range captures iteration order; "+fixHint)
+		default:
+			c.report(lhs.Pos(), "map iteration order can reach this assignment target; "+fixHint)
+		}
+	}
+}
+
+// localTo reports whether the identifier's object is declared within
+// the node (the loop, including its key/value variables).
+func (c *rangeChecker) localTo(id *ast.Ident, n ast.Node) bool {
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	return obj != nil && obj.Pos() >= n.Pos() && obj.Pos() < n.End()
+}
+
+// appendSorted recognizes `x = append(x, ...)` where x is sorted by a
+// sort.* or slices.Sort* call after the loop — the sanctioned
+// collect-keys-then-sort idiom (obs.sortedKeys).
+func (c *rangeChecker) appendSorted(lhs *ast.Ident, rhs ast.Expr) bool {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := c.pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return false
+	}
+	obj := c.pass.TypesInfo.ObjectOf(lhs)
+	if obj == nil {
+		return false
+	}
+	// Look for a later sort call covering the same object.
+	sorted := false
+	ast.Inspect(c.file, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		sc, ok := n.(*ast.CallExpr)
+		if !ok || sc.Pos() < c.rs.End() || len(sc.Args) == 0 {
+			return true
+		}
+		if _, ok := c.pass.CallTo(sc, "sort"); !ok {
+			if name, ok := c.pass.CallTo(sc, "slices"); !ok || len(name) < 4 || name[:4] != "Sort" {
+				return true
+			}
+		}
+		arg, ok := sc.Args[0].(*ast.Ident)
+		if ok && c.pass.TypesInfo.ObjectOf(arg) == obj {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

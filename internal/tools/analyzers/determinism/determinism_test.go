@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/determinism"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "machine", "obs", "other")
+}

@@ -1,0 +1,98 @@
+// Package machine is a golden stand-in for repro/internal/machine:
+// the analyzer applies both rule groups to packages with this name.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock exercises rule 1: no wall clocks, no math/rand.
+func wallClock() float64 {
+	t0 := time.Now()                // want `time\.Now in a deterministic package`
+	_ = rand.Intn(4)                // want `math/rand in a deterministic package`
+	return time.Since(t0).Seconds() // want `time\.Since in a deterministic package`
+}
+
+// typeUse shows that non-call references to package time are fine.
+func typeUse() time.Duration {
+	var d time.Duration = 5
+	return d
+}
+
+// cleanRanges holds the sanctioned map-range shapes.
+func cleanRanges(m map[string]int) ([]string, int) {
+	// Collect keys, then sort: the obs.sortedKeys idiom.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Commutative accumulation, keyed map writes, loop-local state.
+	sum := 0
+	inv := map[int]string{}
+	cnt := 0
+	for k, v := range m {
+		sum += v
+		inv[v] = k
+		cnt++
+		double := v * 2
+		_ = double
+		if v == 0 {
+			delete(inv, v)
+			continue
+		}
+	}
+	return keys, sum + cnt
+}
+
+// dirtyRanges holds the order-leaking shapes.
+func dirtyRanges(m map[string]int) []string {
+	// Last-writer-wins pick of an arbitrary element.
+	best := ""
+	for k := range m {
+		if k > best {
+			best = k // want `map iteration order can reach "best"`
+		}
+	}
+
+	// Emitting inside the loop prints in randomized order.
+	for k := range m {
+		fmt.Println(k) // want `a call inside a map range runs in randomized order`
+	}
+
+	// Collected but never sorted: the slice keeps iteration order.
+	var order []string
+	for k := range m {
+		order = append(order, k) // want `map iteration order can reach "order"`
+	}
+
+	// Positional slice writes capture iteration order too.
+	out := make([]string, len(m))
+	i := 0
+	for k := range m {
+		out[i] = k // want `writing a slice slot from a map range captures iteration order`
+		i++
+	}
+
+	// Returning mid-loop selects an arbitrary element.
+	for k := range m {
+		if k != "" {
+			return []string{k} // want `returning from inside a map range selects an arbitrary element`
+		}
+	}
+	return append(order, out...)
+}
+
+// allowed shows per-line suppression with a justification.
+func allowed(m map[string]struct{}) string {
+	last := ""
+	for k := range m {
+		//p8:allow determinism: golden test — all keys are equal by construction
+		last = k
+	}
+	return last
+}

@@ -1,0 +1,17 @@
+// Package obs gets rule 2 only: exporters may read wall clocks, but
+// map iteration order must still not reach output.
+package obs
+
+import "time"
+
+// Stamp may read the wall clock: obs is not a simulation package.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Render leaks iteration order and is flagged.
+func Render(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out = k // want `map iteration order can reach "out"`
+	}
+	return out
+}

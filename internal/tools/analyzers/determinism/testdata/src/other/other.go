@@ -1,0 +1,19 @@
+// Package other is outside the determinism scope: neither rule fires.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Wall clocks, math/rand and order-dependent map ranges are all fine
+// in harness-side packages.
+func Free(m map[string]int) string {
+	_ = time.Now()
+	_ = rand.Intn(4)
+	last := ""
+	for k := range m {
+		last = k
+	}
+	return last
+}

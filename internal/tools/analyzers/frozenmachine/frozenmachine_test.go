@@ -1,0 +1,12 @@
+package frozenmachine_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/frozenmachine"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", frozenmachine.Analyzer, "machine", "client")
+}

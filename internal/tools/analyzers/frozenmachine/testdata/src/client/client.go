@@ -1,0 +1,29 @@
+// Package client mutates machine.Machine from outside its package:
+// every write path is flagged.
+package client
+
+import "machine"
+
+// Mutate covers direct, nested, indexed and inc/dec writes.
+func Mutate(m *machine.Machine, s *machine.Spec) {
+	m.Spec = s                       // want `read-only after construction`
+	m.Spec.Latency.LocalDRAMNs = 2.0 // want `read-only after construction`
+	m.Seq++                          // want `read-only after construction`
+	ms := []*machine.Machine{m}
+	ms[0].Seq = 7 // want `read-only after construction`
+
+	// Reads are always fine.
+	l := m.Spec.Latency.LocalDRAMNs
+	_ = l
+
+	// Suppression needs the analyzer name and a justification.
+	//p8:allow frozenmachine: golden test — calibration fixture rewrites latencies
+	m.Seq = 9
+}
+
+// Construct covers literal construction outside the package.
+func Construct(s *machine.Spec) *machine.Machine {
+	v := machine.Machine{Spec: s} // want `construct Machine with machine\.New`
+	_ = v
+	return &machine.Machine{} // want `construct Machine with machine\.New`
+}

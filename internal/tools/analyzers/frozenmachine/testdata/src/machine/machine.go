@@ -1,0 +1,25 @@
+// Package machine is a golden stand-in defining the frozen Machine
+// type. Inside the defining package writes are legal: the constructor
+// owns initialization.
+package machine
+
+// Latency holds per-level latencies.
+type Latency struct{ LocalDRAMNs float64 }
+
+// Spec describes a machine configuration.
+type Spec struct{ Latency Latency }
+
+// Machine is read-only after construction.
+type Machine struct {
+	Spec *Spec
+	Seq  int
+}
+
+// New builds a Machine; in-package writes are not flagged.
+func New(s *Spec) *Machine {
+	m := &Machine{}
+	m.Spec = s
+	m.Seq++
+	m.Spec.Latency.LocalDRAMNs = 1
+	return m
+}

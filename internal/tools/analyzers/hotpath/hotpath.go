@@ -1,0 +1,147 @@
+// Package hotpath enforces the repo's hot-path discipline on functions
+// annotated with a //p8:hotpath directive in their doc comment: the
+// walker access path, the Team dispatch/pull loop and the DES event
+// loop, whose per-operation cost budgets are pinned by the allocation
+// benchmarks (BenchmarkWalker*, BenchmarkParallelForTeam,
+// BenchmarkSchedule).
+//
+// Inside an annotated function the analyzer rejects:
+//
+//   - any call into fmt (formatting allocates and takes interfaces),
+//   - wall-clock calls (time.Now, time.Since, ...): hot loops carry
+//     simulated or pre-resolved time only,
+//   - any use of math/rand (nondeterministic seeding; internal/rng is
+//     the seeded generator),
+//   - any use of sync/atomic, including methods on atomic.* types —
+//     the access paths are single-goroutine or flush-at-the-end by
+//     design (the one designed-in exception, the dynamic chunk cursor,
+//     carries a //p8:allow with its justification),
+//   - ranging over a map (iteration order is random at run time),
+//   - closures that capture enclosing variables (the capture may force
+//     a heap allocation per call; hoist the state or pass it as an
+//     argument).
+//
+// Deviations are suppressed per line with
+// `//p8:allow hotpath: <why>`.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// Directive is the doc-comment marker that opts a function into the
+// hot-path rules.
+const Directive = "//p8:hotpath"
+
+// wallClock is the banned wall-clock surface of package time.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// Analyzer is the hotpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "functions marked //p8:hotpath may not call fmt or wall clocks, use sync/atomic or math/rand, range over maps, or capture closures",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotated(fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// annotated reports whether the function's doc comment carries the
+// directive on a line of its own.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			checkIdent(pass, n)
+		case *ast.RangeStmt:
+			if pass.IsMap(n.X) {
+				pass.Reportf(n.Pos(), "hot path ranges over a map (iteration order is randomized); use a slice or fixed array")
+			}
+		case *ast.FuncLit:
+			if name, ok := captures(pass, fd, n); ok {
+				pass.Reportf(n.Pos(), "hot-path closure captures %q and may escape to the heap; hoist the state or pass it as an argument", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkIdent flags uses of banned packages' functions and objects.
+func checkIdent(pass *analysis.Pass, id *ast.Ident) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	switch path {
+	case "fmt":
+		if _, ok := obj.(*types.Func); ok {
+			pass.Reportf(id.Pos(), "hot path calls fmt.%s (allocates); format outside the loop", id.Name)
+		}
+	case "time":
+		if _, ok := obj.(*types.Func); ok && wallClock[obj.Name()] {
+			pass.Reportf(id.Pos(), "hot path reads the wall clock (time.%s); use simulated time or stamp outside the loop", id.Name)
+		}
+	case "sync/atomic":
+		if _, ok := obj.(*types.Func); ok {
+			pass.Reportf(id.Pos(), "hot path uses sync/atomic (%s); accumulate in plain fields and flush at the end", id.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(id.Pos(), "hot path uses math/rand; use the seeded repro/internal/rng")
+	}
+}
+
+// captures reports whether the closure references a variable declared
+// in the enclosing function but outside the closure itself.
+func captures(pass *analysis.Pass, fd *ast.FuncDecl, fl *ast.FuncLit) (string, bool) {
+	var name string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= fd.Pos() && pos < fd.End() && !(pos >= fl.Pos() && pos < fl.End()) {
+			name = id.Name
+		}
+		return true
+	})
+	return name, name != ""
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/hotpath"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hot")
+}

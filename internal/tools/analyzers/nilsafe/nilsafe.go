@@ -1,0 +1,124 @@
+// Package nilsafe enforces the obs package's nil-is-no-op contract:
+// every exported method with a pointer receiver declared in a package
+// named "obs" must begin with a nil-receiver guard, so a disabled
+// registry (`var reg *obs.Registry`) costs exactly one predicted
+// branch at every instrumentation site.
+//
+// Accepted guard shapes, which are the two idioms the package uses:
+//
+//	func (c *Counter) Inc() { if c != nil { ... } }   // whole body wrapped
+//	func (r *Registry) Child(...) ... {
+//		if r == nil { return ... }                     // early return
+//		...
+//	}
+package nilsafe
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// Analyzer is the nilsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilsafe",
+	Doc:  "exported pointer-receiver methods in package obs must begin with a nil-receiver guard",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "obs" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			star, ok := recv.Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receiver: nil does not apply
+			}
+			tname, ok := receiverTypeName(star.X)
+			if !ok || !ast.IsExported(tname) {
+				continue
+			}
+			if len(recv.Names) == 1 && recv.Names[0].Name != "_" &&
+				guardsNil(fd.Body, recv.Names[0].Name) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"exported method (*%s).%s must begin with a nil-receiver guard (the obs nil-is-no-op contract)",
+				tname, fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// receiverTypeName unwraps a receiver base type expression to its
+// type name, tolerating generic receivers.
+func receiverTypeName(e ast.Expr) (string, bool) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name, true
+	case *ast.IndexExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(t.X)
+	}
+	return "", false
+}
+
+// guardsNil reports whether the body starts with an accepted
+// nil-receiver guard on recv.
+func guardsNil(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cmp, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || !isRecvNilComparison(cmp, recv) {
+		return false
+	}
+	switch cmp.Op {
+	case token.EQL:
+		// `if recv == nil { ... return }`: the guard body must leave the
+		// method so the rest of the body never sees a nil receiver.
+		n := len(ifs.Body.List)
+		if n == 0 {
+			return false
+		}
+		_, isReturn := ifs.Body.List[n-1].(*ast.ReturnStmt)
+		return isReturn
+	case token.NEQ:
+		// `if recv != nil { ... }` must be the whole method body.
+		return ifs.Else == nil && len(body.List) == 1
+	}
+	return false
+}
+
+// isRecvNilComparison matches `recv == nil`, `nil == recv` and the !=
+// forms.
+func isRecvNilComparison(cmp *ast.BinaryExpr, recv string) bool {
+	if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(cmp.X) && isNil(cmp.Y)) || (isNil(cmp.X) && isRecv(cmp.Y))
+}

@@ -1,0 +1,12 @@
+package nilsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/nilsafe"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", nilsafe.Analyzer, "obs", "notobs")
+}

@@ -1,0 +1,9 @@
+// Package notobs shows the analyzer is scoped to packages named obs:
+// unguarded pointer methods elsewhere are fine.
+package notobs
+
+// Thing is not an obs metric.
+type Thing struct{ v int }
+
+// Bump has no nil guard and needs none.
+func (t *Thing) Bump() { t.v++ }

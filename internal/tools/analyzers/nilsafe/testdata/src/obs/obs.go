@@ -1,0 +1,71 @@
+// Package obs is a golden stand-in for repro/internal/obs: the
+// analyzer keys on the package name.
+package obs
+
+// Counter mirrors the real metric shape.
+type Counter struct{ v uint64 }
+
+// Inc wraps the whole body: accepted guard shape one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add starts with an early return: accepted guard shape two.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Load has no guard at all.
+func (c *Counter) Load() uint64 { // want `\(\*Counter\)\.Load must begin with a nil-receiver guard`
+	return c.v
+}
+
+// reset is unexported; the contract covers the exported API only.
+func (c *Counter) reset() { c.v = 0 }
+
+// Gauge mirrors the real metric shape.
+type Gauge struct{ v int64 }
+
+// Set guards too late: the first statement already dereferences.
+func (g *Gauge) Set(v int64) { // want `nil-receiver guard`
+	x := v + 1
+	if g == nil {
+		return
+	}
+	g.v = x
+}
+
+// SetMax wraps only part of the body in the != guard.
+func (g *Gauge) SetMax(v int64) { // want `nil-receiver guard`
+	if g != nil {
+		if v > g.v {
+			g.v = v
+		}
+	}
+	v++
+}
+
+// Reversed guards with the nil on the left, which is fine.
+func (g *Gauge) Reversed() int64 {
+	if nil == g {
+		return 0
+	}
+	return g.v
+}
+
+// Snapshot has value receivers: nil cannot reach them.
+type Snapshot struct{ N int }
+
+// Empty needs no guard on a value receiver.
+func (s Snapshot) Empty() bool { return s.N == 0 }
+
+// registry is unexported, so its methods are exempt.
+type registry struct{ name string }
+
+// Name is exported but the type is not.
+func (r *registry) Name() string { return r.name }

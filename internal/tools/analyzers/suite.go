@@ -1,0 +1,26 @@
+// Package analyzers collects the p8lint analyzer suite: the five
+// machine-checked contracts the simulator's correctness and
+// reproducibility arguments rest on. cmd/p8lint runs the suite from
+// the command line and CI; the per-analyzer packages carry the rules
+// and their golden tests.
+package analyzers
+
+import (
+	"repro/internal/tools/analyzers/analysis"
+	"repro/internal/tools/analyzers/determinism"
+	"repro/internal/tools/analyzers/frozenmachine"
+	"repro/internal/tools/analyzers/hotpath"
+	"repro/internal/tools/analyzers/nilsafe"
+	"repro/internal/tools/analyzers/teamuse"
+)
+
+// All returns the full p8lint suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		frozenmachine.Analyzer,
+		hotpath.Analyzer,
+		nilsafe.Analyzer,
+		teamuse.Analyzer,
+	}
+}

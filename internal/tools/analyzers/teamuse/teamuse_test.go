@@ -1,0 +1,12 @@
+package teamuse_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/teamuse"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", teamuse.Analyzer, "parallel", "use")
+}

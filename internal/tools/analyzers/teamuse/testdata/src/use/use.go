@@ -1,0 +1,59 @@
+// Package use exercises the Team-misuse checks.
+package use
+
+import "parallel"
+
+// Nested dispatch deadlocks: the outer loop holds the team until its
+// body returns.
+func Nested(t *parallel.Team, n int) {
+	t.ParallelFor(n, 0, func(lo, hi int) {
+		parallel.For(2, hi-lo, 0, func(a, b int) { _ = a + b }) // want `nested parallel-for`
+	})
+	parallel.StaticFor(2, n, func(w, lo, hi int) {
+		t.StaticFor(hi-lo, func(w2, a, b int) {}) // want `nested parallel-for`
+	})
+}
+
+// Sequential dispatches on one team are the intended reuse pattern.
+func Sequential(t *parallel.Team, n int) {
+	t.ParallelFor(n, 0, func(lo, hi int) {})
+	t.StaticFor(n, func(w, lo, hi int) {})
+}
+
+// CrossGoroutine races two dispatches on one team.
+func CrossGoroutine(t *parallel.Team, n int) {
+	done := make(chan struct{})
+	go func() {
+		t.ParallelFor(n, 0, func(lo, hi int) {})
+		close(done)
+	}()
+	t.ParallelFor(n, 0, func(lo, hi int) {}) // want `dispatched from more than one goroutine`
+	<-done
+}
+
+// Leak builds a team and forgets to close it.
+func Leak(n int) {
+	t := parallel.NewTeam(4) // want `never Closed`
+	t.ParallelFor(n, 0, func(lo, hi int) {})
+}
+
+// Closed is the intended lifecycle.
+func Closed(n int) {
+	t := parallel.NewTeam(4)
+	defer t.Close()
+	t.ParallelFor(n, 0, func(lo, hi int) {})
+}
+
+// Escapes hands the team to the caller, which owns closing it.
+func Escapes() *parallel.Team {
+	t := parallel.NewTeam(2)
+	return t
+}
+
+type holder struct{ t *parallel.Team }
+
+// EscapesField stores the team; the holder owns closing it.
+func EscapesField(h *holder) {
+	t := parallel.NewTeam(2)
+	h.t = t
+}

@@ -48,6 +48,23 @@ func statsByID(t *testing.T, reps []*Report) map[string]map[string]uint64 {
 	return out
 }
 
+// TestRunAllObservedParallelSmoke drives the instrumented suite once
+// with concurrent workers sharing one Machine. It is the target of the
+// CI race job's `go test -race -short -run Observed .` pass: the
+// triple-run determinism test below is too slow under the race
+// detector, but a single concurrent instrumented pass already exercises
+// every scoped-registry write, counter flush and team-instrumentation
+// path under contention.
+func TestRunAllObservedParallelSmoke(t *testing.T) {
+	m := NewE870()
+	reps := RunAllObserved(m, true, 8, NewStatsRegistry("run"))
+	for _, r := range reps {
+		if r.Stats == nil {
+			t.Fatalf("%s: observed run left Stats nil", r.ID)
+		}
+	}
+}
+
 func TestObservedCountersDeterministicAndIsolated(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full quick suite three times")
