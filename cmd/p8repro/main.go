@@ -13,6 +13,16 @@
 //	p8repro -cpuprofile cpu.pb   # write a pprof CPU profile of the run
 //	p8repro -stats               # append a counter appendix per experiment
 //	p8repro -statsaddr :8123     # also serve live counters over HTTP
+//	p8repro -faults worst-day    # degradation suite under a canned fault plan
+//	p8repro -faults guard:0:2    # ... or an explicit event-grammar plan
+//	p8repro -faultseed 7         # ... or a seeded random plan (reproducible)
+//
+// -faults and -faultseed switch to the degradation suite: bandwidth-vs-
+// fault sweeps and a healthy-vs-degraded comparison on a machine derived
+// through the fault plan (see internal/fault for the grammar and the
+// canned plan names, or -list). The paper suite is not run in that mode:
+// a degraded machine fails the paper's healthy-system checks by
+// construction.
 //
 // Experiments run concurrently (one goroutine each, bounded by
 // -parallel, defaulting to the CPU count) but reports always print in
@@ -39,6 +49,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -62,8 +73,28 @@ func run() int {
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 		stats      = flag.Bool("stats", false, "collect runtime counters and append a counter appendix per experiment")
 		statsaddr  = flag.String("statsaddr", "", "serve the live counter registry over HTTP at this address (implies -stats)")
+		faults     = flag.String("faults", "", "run the degradation suite under this fault plan (canned name or event grammar)")
+		faultseed  = flag.Uint64("faultseed", 0, "run the degradation suite under a random fault plan derived from this seed (0 = off)")
 	)
 	flag.Parse()
+
+	// Validate flag combinations up front with a friendly message and the
+	// usage text rather than failing mid-run.
+	if err := validateFlags(*workers, *kworkers, *grainf, *faults, *faultseed, *ablations); err != nil {
+		fmt.Fprintln(os.Stderr, "p8repro:", err)
+		flag.Usage()
+		return 2
+	}
+	faultMode := *faults != "" || *faultseed != 0
+	var plan *power8.FaultPlan
+	if faultMode {
+		var err error
+		if plan, err = resolvePlan(*faults, *faultseed); err != nil {
+			fmt.Fprintln(os.Stderr, "p8repro:", err)
+			fmt.Fprintln(os.Stderr, "p8repro: canned plans:", strings.Join(fault.CannedNames(), ", "))
+			return 2
+		}
+	}
 
 	parallel.SetDefaultWorkers(*kworkers)
 	parallel.SetGrainFactor(*grainf)
@@ -85,6 +116,11 @@ func run() int {
 		for _, e := range power8.Experiments() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
+		fmt.Println("\ndegradation suite (run with -faults or -faultseed):")
+		for _, e := range power8.FaultExperiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("\ncanned fault plans:", strings.Join(fault.CannedNames(), ", "))
 		return 0
 	}
 
@@ -126,14 +162,26 @@ func run() int {
 	m := power8.NewE870()
 	start := time.Now()
 	var reports []*power8.Report
-	if *expID != "" {
+	switch {
+	case faultMode:
+		suite := power8.FaultExperiments()
+		if *expID != "" {
+			if suite = filterSuite(suite, *expID); suite == nil {
+				fmt.Fprintf(os.Stderr, "p8repro: unknown degradation experiment %q\n", *expID)
+				return 2
+			}
+		}
+		reports = power8.RunSuite(suite, m, power8.RunOptions{
+			Quick: *quick, Workers: *workers, Stats: root, Faults: plan,
+		})
+	case *expID != "":
 		rep, err := power8.RunObserved(*expID, m, *quick, root)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
 		reports = append(reports, rep)
-	} else {
+	default:
 		reports = power8.RunAllObserved(m, *quick, *workers, root)
 	}
 	if *timing {
@@ -168,8 +216,64 @@ func run() int {
 	return 0
 }
 
+// validateFlags rejects nonsensical flag values and combinations before
+// any work starts, so the user gets one friendly line plus the usage
+// text (exit 2) instead of a mid-run panic.
+func validateFlags(workers, kworkers, grainf int, faults string, faultseed uint64, ablations bool) error {
+	if workers < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", workers)
+	}
+	if kworkers < 0 {
+		return fmt.Errorf("-kernelworkers must be >= 0, got %d", kworkers)
+	}
+	if grainf < 0 {
+		return fmt.Errorf("-grainfactor must be >= 0, got %d", grainf)
+	}
+	if faults != "" && faultseed != 0 {
+		return fmt.Errorf("-faults and -faultseed are mutually exclusive; pick one plan source")
+	}
+	if ablations && (faults != "" || faultseed != 0) {
+		return fmt.Errorf("-ablations cannot be combined with -faults/-faultseed")
+	}
+	return nil
+}
+
+// resolvePlan turns the fault flags into a validated plan against the
+// E870 spec the suite runs on.
+func resolvePlan(faults string, faultseed uint64) (*power8.FaultPlan, error) {
+	spec := power8.E870Spec()
+	if faultseed != 0 {
+		return fault.Random(faultseed, spec, 4), nil
+	}
+	plan, err := fault.Parse(faults)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(spec); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// filterSuite narrows a suite to one experiment id; nil means not found.
+func filterSuite(suite []power8.Experiment, id string) []power8.Experiment {
+	for _, e := range suite {
+		if e.ID == id {
+			return []power8.Experiment{e}
+		}
+	}
+	return nil
+}
+
 func printText(rep *power8.Report) {
 	fmt.Printf("\n=== %s — %s ===\n", rep.ID, rep.Title)
+	if rep.Failed() {
+		fmt.Println("  status: FAILED (isolated by the harness)")
+		for _, l := range strings.Split(strings.TrimRight(rep.Err, "\n"), "\n") {
+			fmt.Println("    " + l)
+		}
+		return
+	}
 	for _, l := range rep.Lines {
 		fmt.Println("  " + l)
 	}
@@ -229,6 +333,14 @@ func printSharedStats(root *power8.StatsRegistry, markdown bool) {
 
 func printMarkdown(rep *power8.Report) {
 	fmt.Printf("\n## %s — %s\n\n", rep.ID, rep.Title)
+	if rep.Failed() {
+		fmt.Println("**FAILED** — the harness isolated this experiment:")
+		fmt.Println()
+		fmt.Println("```")
+		fmt.Println(strings.TrimRight(rep.Err, "\n"))
+		fmt.Println("```")
+		return
+	}
 	fmt.Println("```")
 	for _, l := range rep.Lines {
 		fmt.Println(l)

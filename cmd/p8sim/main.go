@@ -10,10 +10,19 @@
 //	p8sim -roofline -oi 0.8                 # attainable GFLOP/s at an OI
 //	p8sim -chase -ws 33554432               # simulate a pointer chase
 //	p8sim -chase -ws 33554432 -stats        # ...plus the walker's counters
+//	p8sim -random -faults worst-day         # ...against a degraded machine
 //
 // -stats prints the simulation counters the queried model paths
 // produced (the -chase walker's per-level hits and misses, the -random
 // DES engine's event and bank figures); see DESIGN.md "Observability".
+//
+// -faults derives a RAS-degraded machine variant through internal/fault
+// (canned plan name or event grammar) and answers the queries against
+// it instead of the healthy E870.
+//
+// Query parameters are validated up front against the machine spec:
+// out-of-range values get a one-line message plus the usage text and
+// exit status 2 instead of a model panic.
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 
 	"repro"
 	"repro/internal/arch"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/memsys"
 	"repro/internal/obs"
@@ -51,8 +61,37 @@ func main() {
 		ws      = flag.Int64("ws", 32<<20, "chase working set in bytes")
 		huge    = flag.Bool("huge", false, "use 16 MiB pages for the chase")
 		stats   = flag.Bool("stats", false, "print simulation counters after the queries")
+		faults  = flag.String("faults", "", "answer against a degraded machine derived through this fault plan")
 	)
 	flag.Parse()
+
+	spec := power8.E870Spec()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "p8sim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Pre-validate the query parameters each selected mode will use; the
+	// model constructors panic on bad input by contract, so the CLI
+	// checks ranges first and reports them gently.
+	switch {
+	case *doLatency && (*from < 0 || *from >= spec.Topology.Chips):
+		fail(fmt.Errorf("-from chip %d out of range [0,%d)", *from, spec.Topology.Chips))
+	case *doLatency && (*to < 0 || *to >= spec.Topology.Chips):
+		fail(fmt.Errorf("-to chip %d out of range [0,%d)", *to, spec.Topology.Chips))
+	case *doStream && (*reads < 0 || *writes < 0 || *reads+*writes == 0):
+		fail(fmt.Errorf("-reads/-writes must be non-negative with a positive sum, got %g:%g", *reads, *writes))
+	case (*doRandom || *doFMA) && (*threads < 1 || *threads > spec.Chip.ThreadsPerCore):
+		fail(fmt.Errorf("-threads %d out of range [1,%d] (SMT%d cores)", *threads, spec.Chip.ThreadsPerCore, spec.Chip.ThreadsPerCore))
+	case *doRandom && *lists < 1:
+		fail(fmt.Errorf("-lists must be at least 1, got %d", *lists))
+	case *doFMA && *fmas < 1:
+		fail(fmt.Errorf("-fmas must be at least 1, got %d", *fmas))
+	case *doRoofline && *oi <= 0:
+		fail(fmt.Errorf("-oi must be positive, got %g", *oi))
+	case *doChase && *ws < 128:
+		fail(fmt.Errorf("-ws must cover at least one 128-byte line, got %d", *ws))
+	}
 
 	var reg *obs.Registry
 	if *stats {
@@ -60,6 +99,17 @@ func main() {
 	}
 
 	m := power8.NewE870()
+	if *faults != "" {
+		plan, err := fault.Parse(*faults)
+		if err == nil {
+			err = plan.Validate(spec)
+		}
+		if err != nil {
+			fail(err)
+		}
+		m = plan.Derive(spec)
+		fmt.Printf("machine: %s\n", m.Spec.Name)
+	}
 	ran := false
 
 	if *doLatency {

@@ -54,7 +54,11 @@ func main() {
 	}
 
 	if *stats {
-		deg := graph.RMATDegrees(cfg)
+		deg, err := graph.RMATDegrees(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		var max, total int64
 		var sumSq float64
 		for _, d := range deg {
@@ -87,7 +91,11 @@ func main() {
 	defer w.Flush()
 
 	genStart := time.Now()
-	src, dst := graph.RMATEdges(cfg)
+	src, dst, err := graph.RMATEdges(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	reg.Distribution("generate_ns").Observe(time.Since(genStart).Nanoseconds())
 	reg.Counter("edges_generated").Add(uint64(len(src)))
 

@@ -1,0 +1,226 @@
+package power8
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// FaultPlan is a deterministic RAS degradation plan; see internal/fault
+// for the event taxonomy, the Parse grammar and the canned plans.
+type FaultPlan = fault.Plan
+
+// FaultExperiments returns the degradation suite: bandwidth-vs-fault
+// sweeps and a healthy-vs-degraded comparison driven by a FaultPlan.
+// It is separate from Experiments() because a degraded machine fails
+// the paper suite's healthy-system checks by construction.
+func FaultExperiments() []Experiment { return experiments.DegradationSuite() }
+
+// RunOptions configures a hardened suite run. The zero value runs the
+// suite the way RunAll always has: all CPUs, no instrumentation, no
+// watchdog, no retries.
+type RunOptions struct {
+	// Quick shrinks working sets and scales for fast runs.
+	Quick bool
+	// Workers caps the run's goroutines; <= 0 means runtime.NumCPU().
+	Workers int
+	// Stats, when non-nil, instruments the run: every experiment gets a
+	// child scope keyed by its id, and the harness's own counters
+	// (panics recovered, watchdog trips, cancellations, retries) land
+	// under a "harness" scope.
+	Stats *StatsRegistry
+	// EventBudget bounds each experiment attempt: every simulated event
+	// (DES dispatch or walker access) charges one unit, and exhaustion
+	// aborts the experiment with a failed report instead of hanging the
+	// suite. 0 means unlimited.
+	EventBudget uint64
+	// Cancel, when non-nil, aborts the run when closed: running
+	// experiments trip at their next budget poll, experiments that have
+	// not started return cancelled reports immediately.
+	Cancel <-chan struct{}
+	// Retries re-runs a failed experiment up to this many extra times —
+	// but only experiments marked Retryable; deterministic model
+	// experiments would fail identically and are never retried.
+	Retries int
+	// RetryBackoff is the pause before the first retry; it doubles on
+	// each subsequent attempt (deterministic, no jitter).
+	RetryBackoff time.Duration
+	// Faults selects the degradation plan for the fault-suite
+	// experiments (nil falls back to their canned default). The paper
+	// suite ignores it.
+	Faults *FaultPlan
+}
+
+// RunSuite executes a set of experiments against one machine under the
+// hardened harness contract: every experiment runs isolated (a panic
+// becomes that experiment's failed report, the rest of the suite is
+// unaffected), optionally watched (event budget, cancellation) and
+// optionally retried. Reports come back in suite order regardless of
+// completion order, one per experiment, always.
+func RunSuite(suite []Experiment, m *Machine, opts RunOptions) []*Report {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	// runtime.MemStats is process-global: allocation deltas are only
+	// attributable on sequential runs.
+	recordAllocs := workers == 1
+	h := opts.Stats.Child("harness")
+	broker := newCancelBroker()
+	if opts.Cancel != nil {
+		stop := broker.watch(opts.Cancel)
+		defer stop()
+	}
+	return parallel.Map(workers, suite, func(_ int, e Experiment) *Report {
+		return runHardened(e, m, opts, h, broker, recordAllocs)
+	})
+}
+
+// runHardened is one experiment's attempt loop: run, and for retryable
+// experiments re-run failures up to the retry bound with doubling
+// backoff.
+func runHardened(e Experiment, m *Machine, opts RunOptions, h *obs.Registry, broker *cancelBroker, recordAllocs bool) *Report {
+	attempts := 1
+	if e.Retryable && opts.Retries > 0 {
+		attempts += opts.Retries
+	}
+	var rep *Report
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			h.Counter("retries").Inc()
+			if opts.RetryBackoff > 0 {
+				time.Sleep(opts.RetryBackoff << (attempt - 1))
+			}
+		}
+		rep = runAttempt(e, m, opts, h, broker, recordAllocs)
+		if !rep.Failed() {
+			break
+		}
+	}
+	return rep
+}
+
+// runAttempt executes one isolated attempt with a fresh watchdog
+// budget and its own registry scope.
+func runAttempt(e Experiment, m *Machine, opts RunOptions, h *obs.Registry, broker *cancelBroker, recordAllocs bool) *Report {
+	var budget *engine.Budget
+	if opts.EventBudget > 0 || opts.Cancel != nil {
+		budget = engine.NewBudget(opts.EventBudget)
+		if !broker.add(budget) {
+			h.Counter("cancellations").Inc()
+			return &Report{ID: e.ID, Title: e.Title, Err: engine.Trip{Cancelled: true}.Error()}
+		}
+	}
+	scope := opts.Stats.Child(e.ID) // nil Stats -> nil scope: uninstrumented
+	var m0 runtime.MemStats
+	if opts.Stats != nil && recordAllocs {
+		runtime.ReadMemStats(&m0)
+	}
+	start := time.Now()
+	rep := safeRun(e, &experiments.Context{
+		Machine: m,
+		Quick:   opts.Quick,
+		Obs:     scope,
+		Budget:  budget,
+		Faults:  opts.Faults,
+	}, h)
+	if opts.Stats != nil {
+		hs := scope.Child("harness")
+		hs.Distribution("wall_ns").Observe(time.Since(start).Nanoseconds())
+		if recordAllocs {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			hs.Gauge("allocs").Set(int64(m1.Mallocs - m0.Mallocs))
+		}
+		s := scope.Snapshot()
+		rep.Stats = &s
+	}
+	return rep
+}
+
+// safeRun executes one experiment attempt, converting panics into
+// failed reports so one broken experiment cannot take down the suite: a
+// tripped watchdog (engine.Trip) becomes a deterministic one-line
+// diagnostic, any other panic keeps its value and stack. This wrapper
+// is the only place in the repository allowed to call recover — the
+// p8lint isolation analyzer enforces that panics elsewhere stay fatal
+// instead of being silently swallowed.
+//
+//p8:isolation
+func safeRun(e Experiment, ctx *experiments.Context, h *obs.Registry) (rep *Report) {
+	defer func() {
+		cause := recover()
+		if cause == nil {
+			return
+		}
+		rep = &Report{ID: e.ID, Title: e.Title}
+		switch t := cause.(type) {
+		case engine.Trip:
+			if t.Cancelled {
+				h.Counter("cancellations").Inc()
+			} else {
+				h.Counter("watchdog_trips").Inc()
+			}
+			rep.Err = t.Error()
+		default:
+			h.Counter("panics_recovered").Inc()
+			rep.Err = fmt.Sprintf("panic: %v\n%s", cause, debug.Stack())
+		}
+	}()
+	return e.Run(ctx)
+}
+
+// cancelBroker fans one cancellation signal out to every live budget
+// and turns not-yet-started experiments away.
+type cancelBroker struct {
+	mu        sync.Mutex
+	cancelled bool
+	budgets   []*engine.Budget
+}
+
+func newCancelBroker() *cancelBroker { return &cancelBroker{} }
+
+// add registers a budget for cancellation fan-out; it reports false —
+// and registers nothing — when the run is already cancelled.
+func (b *cancelBroker) add(bud *engine.Budget) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cancelled {
+		return false
+	}
+	b.budgets = append(b.budgets, bud)
+	return true
+}
+
+// cancelAll cancels every registered budget and every future add.
+func (b *cancelBroker) cancelAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cancelled = true
+	for _, bud := range b.budgets {
+		bud.Cancel()
+	}
+	b.budgets = nil
+}
+
+// watch cancels the broker when cancel closes; the returned stop
+// function ends the watch (idempotent with the cancellation itself).
+func (b *cancelBroker) watch(cancel <-chan struct{}) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-cancel:
+			b.cancelAll()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}

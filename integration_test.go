@@ -67,8 +67,12 @@ func TestIntegrationJaccardFeedsProjection(t *testing.T) {
 	// raw multigraph degrees, as RMATDegrees streams them.
 	rawCfg := graph.DefaultRMAT(scale, 4)
 	rawCfg.EdgeFactor = 8
+	rawDeg, err := graph.RMATDegrees(rawCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var rawOps float64
-	for _, d := range graph.RMATDegrees(rawCfg) {
+	for _, d := range rawDeg {
 		rawOps += float64(d) * float64(d)
 	}
 	measured := float64(st.Pairs) / rawOps

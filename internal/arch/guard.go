@@ -1,0 +1,80 @@
+package arch
+
+import "fmt"
+
+// GuardMap records resources the firmware has deconfigured ("guarded
+// out") after detecting faults — the POWER8 RAS behaviour where a core
+// that fails runtime diagnostics is fenced off and the partition keeps
+// running on the remainder. A GuardMap is part of a derived, degraded
+// SystemSpec; the healthy spec carries a nil GuardMap. Like the rest of
+// a SystemSpec it is read-only once the spec is handed to a Machine.
+type GuardMap struct {
+	// cores[c] is the number of cores guarded out on chip c.
+	cores map[ChipID]int
+}
+
+// NewGuardMap returns an empty guard map.
+func NewGuardMap() *GuardMap {
+	return &GuardMap{cores: map[ChipID]int{}}
+}
+
+// GuardCores marks n additional cores on chip c as guarded out. It
+// returns the map for chaining.
+func (g *GuardMap) GuardCores(c ChipID, n int) *GuardMap {
+	if n < 0 {
+		panic(fmt.Sprintf("arch: cannot guard %d cores", n))
+	}
+	g.cores[c] += n
+	return g
+}
+
+// GuardedCores returns the number of cores guarded out on chip c. A
+// nil GuardMap guards nothing.
+func (g *GuardMap) GuardedCores(c ChipID) int {
+	if g == nil {
+		return 0
+	}
+	return g.cores[c]
+}
+
+// TotalGuardedCores returns the number of cores guarded out across the
+// system.
+func (g *GuardMap) TotalGuardedCores() int {
+	if g == nil {
+		return 0
+	}
+	total := 0
+	for _, n := range g.cores {
+		total += n
+	}
+	return total
+}
+
+// Clone returns a deep copy (nil stays nil).
+func (g *GuardMap) Clone() *GuardMap {
+	if g == nil {
+		return nil
+	}
+	out := NewGuardMap()
+	for c, n := range g.cores {
+		out.cores[c] = n
+	}
+	return out
+}
+
+// Validate checks the guard map against a spec's chip geometry: a chip
+// must keep at least one active core.
+func (g *GuardMap) Validate(s *SystemSpec) error {
+	if g == nil {
+		return nil
+	}
+	for c, n := range g.cores {
+		if int(c) < 0 || int(c) >= s.Topology.Chips {
+			return fmt.Errorf("arch: guard map names chip %d outside [0,%d)", c, s.Topology.Chips)
+		}
+		if n >= s.Chip.Cores {
+			return fmt.Errorf("arch: guarding %d of %d cores on chip %d leaves none active", n, s.Chip.Cores, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package arch
+
+import "testing"
+
+func TestGuardMapAccounting(t *testing.T) {
+	g := NewGuardMap().GuardCores(0, 2).GuardCores(3, 1).GuardCores(0, 1)
+	if got := g.GuardedCores(0); got != 3 {
+		t.Errorf("chip 0 guarded = %d, want 3", got)
+	}
+	if got := g.GuardedCores(1); got != 0 {
+		t.Errorf("chip 1 guarded = %d, want 0", got)
+	}
+	if got := g.TotalGuardedCores(); got != 4 {
+		t.Errorf("total guarded = %d, want 4", got)
+	}
+}
+
+func TestGuardMapNilSafe(t *testing.T) {
+	var g *GuardMap
+	if g.GuardedCores(0) != 0 || g.TotalGuardedCores() != 0 {
+		t.Error("nil guard map guards cores")
+	}
+	if g.Clone() != nil {
+		t.Error("nil Clone is not nil")
+	}
+	if err := g.Validate(E870()); err != nil {
+		t.Errorf("nil Validate: %v", err)
+	}
+}
+
+func TestGuardMapCloneIsDeep(t *testing.T) {
+	g := NewGuardMap().GuardCores(2, 1)
+	c := g.Clone()
+	c.GuardCores(2, 5)
+	if g.GuardedCores(2) != 1 {
+		t.Error("mutating the clone changed the original")
+	}
+}
+
+func TestGuardMapValidate(t *testing.T) {
+	spec := E870()
+	if err := NewGuardMap().GuardCores(0, spec.Chip.Cores-1).Validate(spec); err != nil {
+		t.Errorf("guarding all but one core should validate: %v", err)
+	}
+	if err := NewGuardMap().GuardCores(0, spec.Chip.Cores).Validate(spec); err == nil {
+		t.Error("guarding every core validated")
+	}
+	if err := NewGuardMap().GuardCores(ChipID(spec.Topology.Chips), 1).Validate(spec); err == nil {
+		t.Error("guarding an out-of-range chip validated")
+	}
+}
+
+func TestGuardAwareSpecAccounting(t *testing.T) {
+	spec := E870()
+	healthyCores := spec.TotalCores()
+	healthyPeak := spec.PeakDP()
+
+	deg := spec.Clone()
+	deg.Guard = NewGuardMap().GuardCores(0, 2)
+	if got, want := deg.ActiveCores(0), spec.Chip.Cores-2; got != want {
+		t.Errorf("ActiveCores(0) = %d, want %d", got, want)
+	}
+	if got, want := deg.TotalCores(), healthyCores-2; got != want {
+		t.Errorf("TotalCores = %d, want %d", got, want)
+	}
+	if deg.PeakDP() >= healthyPeak {
+		t.Errorf("guarded peak %v not below healthy %v", deg.PeakDP(), healthyPeak)
+	}
+	// The clone must not have touched the healthy spec.
+	if spec.TotalCores() != healthyCores || spec.PeakDP() != healthyPeak {
+		t.Error("deriving a guarded clone mutated the healthy spec")
+	}
+}

@@ -89,17 +89,41 @@ type SystemSpec struct {
 	Topology *Topology
 	Latency  UncoreLatency
 	Xlate    TranslationSpec
+	// Guard lists firmware-deconfigured resources on a degraded
+	// machine; nil (the healthy default) guards nothing. Derived specs
+	// set it via internal/fault; it is never mutated afterwards.
+	Guard *GuardMap
 }
 
-// TotalCores returns the number of cores in the system.
-func (s *SystemSpec) TotalCores() int { return s.Topology.Chips * s.Chip.Cores }
+// TotalCores returns the number of active cores in the system (guarded
+// cores excluded).
+func (s *SystemSpec) TotalCores() int {
+	return s.Topology.Chips*s.Chip.Cores - s.Guard.TotalGuardedCores()
+}
 
-// TotalThreads returns the number of hardware threads in the system.
+// ActiveCores returns the number of usable cores on one chip after
+// guarding.
+func (s *SystemSpec) ActiveCores(c ChipID) int {
+	return s.Chip.Cores - s.Guard.GuardedCores(c)
+}
+
+// TotalThreads returns the number of hardware threads on active cores.
 func (s *SystemSpec) TotalThreads() int { return s.TotalCores() * s.Chip.ThreadsPerCore }
 
-// PeakDP returns the system's peak double-precision throughput.
+// Clone returns a copy of the spec that can be independently modified
+// into a derived (e.g. RAS-degraded) machine description. The topology
+// is shared — it is immutable — while the guard map is deep-copied.
+func (s *SystemSpec) Clone() *SystemSpec {
+	out := *s
+	out.Guard = s.Guard.Clone()
+	return &out
+}
+
+// PeakDP returns the system's peak double-precision throughput over
+// its active (non-guarded) cores.
 func (s *SystemSpec) PeakDP() units.Rate {
-	return units.Rate(float64(s.Chip.PeakDP()) * float64(s.Topology.Chips))
+	perCore := s.Chip.ClockGHz * 1e9 * float64(s.Chip.DPFlopsPerCycle())
+	return units.Rate(perCore * float64(s.TotalCores()))
 }
 
 // PeakReadBW returns the aggregate peak memory read bandwidth.

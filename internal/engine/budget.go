@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// cancelCheckMask sets how often a Budget consults its cross-goroutine
+// cancellation flag: every (mask+1) charged events. The flag is an
+// atomic and the charge path is reached from //p8:hotpath code, so the
+// load is amortized instead of paid per event.
+const cancelCheckMask = 1023
+
+// Budget is the cooperative watchdog attached to one experiment's
+// simulations. Every DES event and every walker access charges one
+// unit; when a configured limit is exhausted — or the budget is
+// cancelled from another goroutine — the charging simulation panics
+// with a Trip, which the harness's isolation wrapper converts into a
+// failed report. This is how a runaway simulation (an event loop that
+// never drains, a trace that never ends) fails cleanly instead of
+// hanging an entire sweep.
+//
+// A nil *Budget is unlimited and never trips: simulations constructed
+// outside the harness (benchmarks, unit tests, library use) pay only a
+// nil check. A Budget belongs to a single experiment; the charge path
+// is not safe for concurrent use, but Cancel may be called from any
+// goroutine.
+type Budget struct {
+	// spent and limit are plain fields: charges come from the one
+	// goroutine running the experiment's simulations.
+	spent uint64
+	limit uint64
+	// cancelled is the only cross-goroutine field; Cancel sets it and
+	// the charge path polls it every cancelCheckMask+1 events.
+	cancelled atomic.Bool
+}
+
+// NewBudget returns a budget allowing `events` charges; 0 means no
+// event limit (the budget then only trips on Cancel).
+func NewBudget(events uint64) *Budget {
+	return &Budget{limit: events}
+}
+
+// Trip is the panic value raised when a Budget is exhausted or
+// cancelled. The harness recovers it and renders a watchdog or
+// cancellation failure; everything else treats it as any other panic.
+type Trip struct {
+	// Events is how many charges had been spent when the trip fired.
+	Events uint64
+	// Limit is the configured event limit (0 when the trip came from
+	// cancellation rather than exhaustion).
+	Limit uint64
+	// Cancelled is true when the trip came from Cancel rather than
+	// from exhausting the event limit.
+	Cancelled bool
+}
+
+// Error renders the trip; Trip implements error so recovered values
+// print cleanly.
+func (t Trip) Error() string {
+	if t.Cancelled {
+		return fmt.Sprintf("engine: run cancelled after %d events", t.Events)
+	}
+	return fmt.Sprintf("engine: event budget exhausted (%d of %d events)", t.Events, t.Limit)
+}
+
+// Charge books n events against the budget and panics with a Trip when
+// the limit is exhausted or the budget has been cancelled. A nil
+// receiver is unlimited. Called from //p8:hotpath loops, so the
+// cancellation atomic is polled only every cancelCheckMask+1 charges.
+func (b *Budget) Charge(n uint64) {
+	if b == nil {
+		return
+	}
+	b.spent += n
+	if b.limit > 0 && b.spent > b.limit {
+		// The overflowing charge was refused, not executed: clamp so the
+		// diagnostic reads "limit of limit events".
+		b.spent = b.limit
+		panic(Trip{Events: b.spent, Limit: b.limit})
+	}
+	if b.spent&cancelCheckMask < n && b.cancelled.Load() {
+		panic(Trip{Events: b.spent, Cancelled: true})
+	}
+}
+
+// Cancel trips the budget from any goroutine: the next polled charge
+// panics with a cancellation Trip. Idempotent.
+func (b *Budget) Cancel() {
+	if b != nil {
+		b.cancelled.Store(true)
+	}
+}
+
+// Cancelled reports whether Cancel has been called.
+func (b *Budget) Cancelled() bool {
+	return b != nil && b.cancelled.Load()
+}
+
+// Spent returns the number of events charged so far.
+func (b *Budget) Spent() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.spent
+}
+
+// Limit returns the configured event limit (0 = unlimited).
+func (b *Budget) Limit() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}

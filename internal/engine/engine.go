@@ -112,7 +112,15 @@ type Sim struct {
 	queue    eventQueue
 	events   uint64
 	maxQueue int
+	// budget, when non-nil, is charged one unit per executed event and
+	// panics with a Trip when exhausted or cancelled (the harness's
+	// watchdog against runaway simulations). Nil costs one branch.
+	budget *Budget
 }
+
+// SetBudget attaches a watchdog budget; every executed event charges
+// one unit. A nil budget (the default) is unlimited.
+func (s *Sim) SetBudget(b *Budget) { s.budget = b }
 
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
@@ -151,6 +159,7 @@ func (s *Sim) Step() bool {
 	next := s.queue.pop()
 	s.now = next.at
 	s.events++
+	s.budget.Charge(1)
 	s.dispatch(next)
 	return true
 }
@@ -186,6 +195,7 @@ func (s *Sim) Run(horizon Time) uint64 {
 		next := s.queue.pop()
 		s.now = next.at
 		s.events++
+		s.budget.Charge(1)
 		s.dispatch(next)
 	}
 	return s.events - start

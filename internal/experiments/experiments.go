@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/stats"
@@ -29,6 +31,18 @@ type Context struct {
 	// never smear together; runners thread it into the walkers and
 	// simulators they build. Nil (the default) runs uninstrumented.
 	Obs *obs.Registry
+	// Budget, when non-nil, is the harness watchdog for this run:
+	// runners thread it into the walkers and DES simulations they
+	// build, each simulated event charges one unit, and exhaustion (or
+	// external cancellation) aborts the experiment with an engine.Trip
+	// panic that the harness's isolation wrapper converts into a failed
+	// report. Nil (the default) runs unwatched.
+	Budget *engine.Budget
+	// Faults, when non-nil, selects the RAS degradation plan the
+	// fault-suite experiments apply; nil falls back to each
+	// experiment's default canned plan. The paper-suite experiments
+	// ignore it — they always describe the healthy machine.
+	Faults *fault.Plan
 }
 
 // Check is one paper-vs-produced comparison.
@@ -86,6 +100,12 @@ type Report struct {
 	// observed (Context.Obs non-nil); nil otherwise. cmd/p8repro's
 	// -stats flag renders it as the per-experiment counter appendix.
 	Stats *obs.Snapshot
+	// Err is the failure diagnostic when the experiment did not
+	// complete: a recovered panic (with stack), a tripped watchdog
+	// budget, or a cancellation. A report with a non-empty Err failed
+	// regardless of its checks; its Lines hold whatever was rendered
+	// before the abort.
+	Err string
 }
 
 // Printf appends a formatted line to the report.
@@ -123,8 +143,12 @@ func (r *Report) CheckRatio(name string, got, want, maxRatio float64) {
 	})
 }
 
-// Passed reports whether every check passed.
+// Passed reports whether the experiment completed and every check
+// passed.
 func (r *Report) Passed() bool {
+	if r.Failed() {
+		return false
+	}
 	for _, c := range r.Checks {
 		if !c.Pass() {
 			return false
@@ -133,11 +157,34 @@ func (r *Report) Passed() bool {
 	return true
 }
 
+// Failed reports whether the experiment aborted (panic, watchdog trip
+// or cancellation) instead of completing.
+func (r *Report) Failed() bool { return r.Err != "" }
+
+// Status summarizes the report for rendering: "ok", "MISMATCH" (ran
+// but a check failed) or "FAILED" (did not complete).
+func (r *Report) Status() string {
+	switch {
+	case r.Failed():
+		return "FAILED"
+	case !r.Passed():
+		return "MISMATCH"
+	default:
+		return "ok"
+	}
+}
+
 // Experiment is one table or figure reproduction.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   func(*Context) *Report
+	// Retryable marks an experiment whose failures may be transient
+	// (e.g. host-measured kernels perturbed by machine load); the
+	// harness's opt-in retry policy only ever re-runs retryable
+	// experiments. Model-driven experiments are deterministic, so a
+	// retry would fail identically and stays off.
+	Retryable bool
 }
 
 var registry []Experiment

@@ -46,7 +46,7 @@ func runFigure4(ctx *Context) *Report {
 		if ctx.Quick {
 			horizon = 50_000.0
 		}
-		ctx.Machine.SimulateRandomAccessObs(8, 4, horizon, ctx.Obs)
+		ctx.Machine.SimulateRandomAccessRun(8, 4, horizon, ctx.Obs, ctx.Budget)
 	}
 	return r
 }

@@ -81,12 +81,26 @@ type Network struct {
 	topo  *arch.Topology
 	lat   arch.UncoreLatency
 	calib Calibration
+	deg   *Degradation
 }
 
-// New assembles the network model.
+// New assembles the healthy network model.
 func New(topo *arch.Topology, lat arch.UncoreLatency, calib Calibration) *Network {
-	return &Network{topo: topo, lat: lat, calib: calib}
+	return NewDegraded(topo, lat, calib, nil)
 }
+
+// NewDegraded assembles a network whose links carry the lane-sparing
+// overlay deg (nil for a healthy fabric). The topology stays the
+// healthy wiring; the overlay derates affected routes' raw bandwidth.
+func NewDegraded(topo *arch.Topology, lat arch.UncoreLatency, calib Calibration, deg *Degradation) *Network {
+	if err := deg.Validate(topo); err != nil {
+		panic(err)
+	}
+	return &Network{topo: topo, lat: lat, calib: calib, deg: deg}
+}
+
+// Degradation returns the lane-sparing overlay (nil when healthy).
+func (n *Network) Degradation() *Degradation { return n.deg }
 
 // Topology exposes the underlying wiring.
 func (n *Network) Topology() *arch.Topology { return n.topo }
@@ -147,10 +161,11 @@ func (n *Network) PairBandwidth(src, dst arch.ChipID, bidirectional bool) units.
 	}
 	var rawGBs float64
 	if n.topo.SameGroup(src, dst) {
-		// Single permitted route inside a group.
-		rawGBs = arch.XBusLaneGBs
+		// Single permitted route inside a group, derated when the X-bus
+		// between the pair is running on spared lanes.
+		rawGBs = arch.XBusLaneGBs * n.deg.Factor(src, dst, arch.XBus)
 	} else {
-		rawGBs = n.calib.InterGroupRouteCapGBs
+		rawGBs = n.interGroupRouteCapGBs(src, dst)
 	}
 	oneWay := rawGBs * n.calib.UniEfficiency
 	if !bidirectional {
@@ -159,12 +174,40 @@ func (n *Network) PairBandwidth(src, dst arch.ChipID, bidirectional bool) units.
 	return units.GBps(2 * oneWay * n.calib.BiDirFactor)
 }
 
+// interGroupRouteCapGBs returns the usable raw route capacity between
+// two chips in different groups: the calibrated healthy cap, reduced by
+// whatever the route's direct A-bundle (the bonded lanes between src
+// and its same-position partner in dst's group) lost to lane sparing.
+// The protocol's spillover through neighbour chips' bundles is left
+// intact — it rides links the sparing event did not touch.
+func (n *Network) interGroupRouteCapGBs(src, dst arch.ChipID) float64 {
+	partner := arch.ChipID(n.topo.Group(dst)*n.topo.ChipsPerGroup + n.topo.PositionInGroup(src))
+	capGBs := n.calib.InterGroupRouteCapGBs
+	f := n.deg.Factor(src, partner, arch.ABus)
+	if f < 1 {
+		if l, ok := n.topo.LinkBetween(src, partner); ok {
+			capGBs -= l.Capacity().GBps() * (1 - f)
+		}
+	}
+	return capGBs
+}
+
 // AggregateBandwidth returns the sustained bidirectional bandwidth of all
 // links of a kind when every core in the system drives them (the Table IV
-// "X-Bus Aggregate" and "A-Bus Aggregate" rows).
+// "X-Bus Aggregate" and "A-Bus Aggregate" rows), counting spared lanes
+// out of the raw capacity.
 func (n *Network) AggregateBandwidth(kind arch.LinkKind) units.Bandwidth {
-	raw := n.topo.AggregateCapacity(kind)
-	return units.Bandwidth(float64(raw) * n.calib.SatEfficiency)
+	var raw float64
+	if n.deg.Degraded() {
+		for _, l := range n.topo.Links() {
+			if l.Kind == kind {
+				raw += 2 * float64(l.Capacity()) * n.deg.Factor(l.A, l.B, kind)
+			}
+		}
+	} else {
+		raw = float64(n.topo.AggregateCapacity(kind))
+	}
+	return units.Bandwidth(raw * n.calib.SatEfficiency)
 }
 
 // InterleavedAbsorb returns the bandwidth one chip sustains when reading

@@ -1,0 +1,372 @@
+// Package fault describes RAS degradation events on a POWER8 SMP
+// system and derives degraded machine variants from them. POWER8's RAS
+// design degrades rather than fails: an X- or A-bus that loses lanes is
+// spared down to reduced width, a Centaur link with persistent CRC
+// errors retrains slower and replays transfers, a core that fails
+// runtime diagnostics is guarded out by firmware, and a dead memory
+// channel drops out of the interleave. A fault.Plan is a deterministic,
+// seed-reproducible list of such events; Derive turns it into a frozen
+// machine.Machine through the normal constructor path, so a degraded
+// machine obeys exactly the same read-only contract as a healthy one —
+// degradation is derivation, never mutation.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/fabric"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/obs"
+)
+
+// Kind is the category of one RAS event.
+type Kind int
+
+// The modelled RAS event kinds.
+const (
+	// SpareXLanes runs an intra-group X-bus at a fraction of its width.
+	SpareXLanes Kind = iota
+	// SpareALanes runs an inter-group A-bus bundle at a fraction of its
+	// width (the E870 bonds three lanes; losing one leaves 2/3).
+	SpareALanes
+	// CentaurDerate retrains the Centaur DMI links at reduced speed and
+	// adds a per-access replay latency.
+	CentaurDerate
+	// GuardCores fences failed cores off a chip; their threads re-home
+	// onto the survivors.
+	GuardCores
+	// LoseChannels takes memory channels on a chip out of the
+	// interleave.
+	LoseChannels
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SpareXLanes:
+		return "x-lane-spare"
+	case SpareALanes:
+		return "a-lane-spare"
+	case CentaurDerate:
+		return "centaur-derate"
+	case GuardCores:
+		return "guard-cores"
+	case LoseChannels:
+		return "lose-channels"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one RAS event. Which fields matter depends on Kind:
+// lane-sparing events use A, B and Factor; CentaurDerate uses Read,
+// Write and ReplayNs; GuardCores and LoseChannels use Chip and N.
+type Event struct {
+	Kind   Kind
+	A, B   arch.ChipID // lane sparing: link endpoints
+	Chip   arch.ChipID // guard / channel loss: target chip
+	N      int         // cores guarded or channels lost
+	Factor float64     // lane sparing: fraction of raw width remaining
+
+	Read, Write float64 // Centaur link speed factors
+	ReplayNs    float64 // per-access replay latency adder
+}
+
+// String renders the event in the Parse grammar.
+func (e Event) String() string {
+	switch e.Kind {
+	case SpareXLanes:
+		return fmt.Sprintf("xlane:%d-%d:%g", e.A, e.B, e.Factor)
+	case SpareALanes:
+		return fmt.Sprintf("alane:%d-%d:%g", e.A, e.B, e.Factor)
+	case CentaurDerate:
+		return fmt.Sprintf("centaur:%g:%g:%g", e.Read, e.Write, e.ReplayNs)
+	case GuardCores:
+		return fmt.Sprintf("guard:%d:%d", e.Chip, e.N)
+	case LoseChannels:
+		return fmt.Sprintf("channel:%d:%d", e.Chip, e.N)
+	default:
+		return fmt.Sprintf("event(%d)", int(e.Kind))
+	}
+}
+
+// Describe returns a human-readable one-line description.
+func (e Event) Describe() string {
+	switch e.Kind {
+	case SpareXLanes:
+		return fmt.Sprintf("X-bus %d<->%d spared to %.0f%% width", e.A, e.B, 100*e.Factor)
+	case SpareALanes:
+		return fmt.Sprintf("A-bus %d<->%d spared to %.0f%% width", e.A, e.B, 100*e.Factor)
+	case CentaurDerate:
+		return fmt.Sprintf("Centaur links at %.0f%%/%.0f%% speed, +%.0f ns replay", 100*e.Read, 100*e.Write, e.ReplayNs)
+	case GuardCores:
+		return fmt.Sprintf("%d core(s) guarded out on chip %d", e.N, e.Chip)
+	case LoseChannels:
+		return fmt.Sprintf("%d memory channel(s) lost on chip %d", e.N, e.Chip)
+	default:
+		return e.String()
+	}
+}
+
+// Plan is a named, reproducible list of RAS events. The zero value is
+// a healthy plan. Seed is non-zero only for randomly generated plans
+// and records how to regenerate them.
+type Plan struct {
+	Name   string
+	Seed   uint64
+	Events []Event
+}
+
+// Healthy reports whether the plan injects nothing.
+func (p *Plan) Healthy() bool { return p == nil || len(p.Events) == 0 }
+
+// String renders the plan in the Parse grammar (events joined by
+// commas).
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Validate checks every event against a system spec: link endpoints
+// must be wired with the right bus kind, factors must be in (0,1],
+// guarded chips must keep a core, lossy chips must keep a channel.
+func (p *Plan) Validate(spec *arch.SystemSpec) error {
+	if p.Healthy() {
+		return nil
+	}
+	for i, e := range p.Events {
+		if err := p.validateEvent(e, spec); err != nil {
+			return fmt.Errorf("fault: plan %q event %d (%s): %w", p.Name, i, e, err)
+		}
+	}
+	// The overlays run their own aggregate checks (e.g. cumulative
+	// channel loss across several events leaving a chip empty).
+	_, fd, md, err := p.build(spec)
+	if err != nil {
+		return err
+	}
+	if err := fd.Validate(spec.Topology); err != nil {
+		return err
+	}
+	return md.Validate(spec)
+}
+
+func (p *Plan) validateEvent(e Event, spec *arch.SystemSpec) error {
+	inRange := func(c arch.ChipID) bool { return int(c) >= 0 && int(c) < spec.Topology.Chips }
+	switch e.Kind {
+	case SpareXLanes, SpareALanes:
+		if !inRange(e.A) || !inRange(e.B) {
+			return fmt.Errorf("chip out of range [0,%d)", spec.Topology.Chips)
+		}
+		if e.Factor <= 0 || e.Factor > 1 {
+			return fmt.Errorf("lane factor %g out of (0,1]", e.Factor)
+		}
+		want := arch.XBus
+		if e.Kind == SpareALanes {
+			want = arch.ABus
+		}
+		if l, ok := spec.Topology.LinkBetween(e.A, e.B); !ok || l.Kind != want {
+			return fmt.Errorf("no %v between chips %d and %d", want, e.A, e.B)
+		}
+	case CentaurDerate:
+		if e.Read <= 0 || e.Read > 1 || e.Write <= 0 || e.Write > 1 {
+			return fmt.Errorf("link derate (%g,%g) out of (0,1]", e.Read, e.Write)
+		}
+		if e.ReplayNs < 0 {
+			return fmt.Errorf("negative replay latency %g", e.ReplayNs)
+		}
+	case GuardCores:
+		if !inRange(e.Chip) {
+			return fmt.Errorf("chip %d out of range [0,%d)", e.Chip, spec.Topology.Chips)
+		}
+		if e.N <= 0 || e.N >= spec.Chip.Cores {
+			return fmt.Errorf("guarding %d of %d cores", e.N, spec.Chip.Cores)
+		}
+	case LoseChannels:
+		if !inRange(e.Chip) {
+			return fmt.Errorf("chip %d out of range [0,%d)", e.Chip, spec.Topology.Chips)
+		}
+		if e.N <= 0 || e.N >= spec.Memory.CentaursPerChip {
+			return fmt.Errorf("losing %d of %d channels", e.N, spec.Memory.CentaursPerChip)
+		}
+	default:
+		return fmt.Errorf("unknown event kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// build derives the degraded spec and overlays without constructing a
+// Machine. The spec clone carries the guard map and the replay latency
+// folded into the Centaur-path latencies (L4 and DRAM); the overlays
+// carry everything bandwidth-shaped.
+func (p *Plan) build(spec *arch.SystemSpec) (*arch.SystemSpec, *fabric.Degradation, *memsys.Degradation, error) {
+	out := spec.Clone()
+	var fd *fabric.Degradation
+	var md *memsys.Degradation
+	var replayNs float64
+	for _, e := range p.Events {
+		switch e.Kind {
+		case SpareXLanes, SpareALanes:
+			if fd == nil {
+				fd = fabric.NewDegradation()
+			}
+			kind := arch.XBus
+			if e.Kind == SpareALanes {
+				kind = arch.ABus
+			}
+			fd.SpareLanes(e.A, e.B, kind, e.Factor)
+		case CentaurDerate:
+			if md == nil {
+				md = memsys.NewDegradation()
+			}
+			md.DerateLinks(e.Read, e.Write).AddReplayNs(e.ReplayNs)
+			replayNs += e.ReplayNs
+		case GuardCores:
+			if out.Guard == nil {
+				out.Guard = arch.NewGuardMap()
+			}
+			out.Guard.GuardCores(e.Chip, e.N)
+		case LoseChannels:
+			if md == nil {
+				md = memsys.NewDegradation()
+			}
+			md.LoseChannels(e.Chip, e.N)
+		default:
+			return nil, nil, nil, fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
+		}
+	}
+	if replayNs > 0 {
+		// Every access through the Centaur — L4 hit or DRAM — pays the
+		// link replay; on-chip cache levels do not.
+		out.Latency.L4HitNs += replayNs
+		out.Latency.LocalDRAMNs += replayNs
+		out.Latency.DRAMStridedNs += replayNs
+	}
+	if err := out.Guard.Validate(out); err != nil {
+		return nil, nil, nil, err
+	}
+	if !p.Healthy() {
+		out.Name = fmt.Sprintf("%s [degraded: %s]", spec.Name, p.planLabel())
+	}
+	return out, fd, md, nil
+}
+
+func (p *Plan) planLabel() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return p.String()
+}
+
+// Derive builds the degraded machine for a plan with the E870-fitted
+// calibrations. It panics on an invalid plan; CLIs validate first.
+func (p *Plan) Derive(spec *arch.SystemSpec) *machine.Machine {
+	return p.DeriveWithCalibration(spec, fabric.E870Calibration(), memsys.E870Calibration())
+}
+
+// DeriveWithCalibration builds the degraded machine with explicit
+// calibration profiles through machine.NewDegraded — the same frozen
+// constructor path a healthy machine takes.
+func (p *Plan) DeriveWithCalibration(spec *arch.SystemSpec, fc fabric.Calibration, mc memsys.Calibration) *machine.Machine {
+	if p.Healthy() {
+		return machine.NewWithCalibration(spec, fc, mc)
+	}
+	out, fd, md, err := p.build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return machine.NewDegraded(out, fc, mc, fd, md)
+}
+
+// Publish records the plan's injected events in a registry under a
+// "fault" child scope: total injected plus one counter per event kind.
+// A nil registry or a healthy plan publishes nothing.
+func (p *Plan) Publish(reg *obs.Registry) {
+	if reg == nil || p.Healthy() {
+		return
+	}
+	f := reg.Child("fault")
+	f.Counter("injected").Add(uint64(len(p.Events)))
+	for _, e := range p.Events {
+		f.Counter(e.Kind.String()).Inc()
+	}
+}
+
+// Summary returns one Describe line per event, in plan order.
+func (p *Plan) Summary() []string {
+	if p.Healthy() {
+		return nil
+	}
+	lines := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		lines[i] = e.Describe()
+	}
+	return lines
+}
+
+// Canned returns a named predefined plan (see CannedNames), or an
+// error listing the known names.
+func Canned(name string) (*Plan, error) {
+	if p, ok := cannedPlans()[name]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("fault: unknown canned plan %q (have %s)", name, strings.Join(CannedNames(), ", "))
+}
+
+// CannedNames returns the predefined plan names, sorted.
+func CannedNames() []string {
+	plans := cannedPlans()
+	names := make([]string, 0, len(plans))
+	for n := range plans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// cannedPlans defines the predefined degradation scenarios. They are
+// rebuilt per call so callers can never alias shared state.
+func cannedPlans() map[string]*Plan {
+	return map[string]*Plan{
+		// One X-bus inside group 0 running at half width.
+		"spared-xbus": {Name: "spared-xbus", Events: []Event{
+			{Kind: SpareXLanes, A: 0, B: 1, Factor: 0.5},
+		}},
+		// One of the three bonded A-bus lanes between chips 0 and 4
+		// spared out.
+		"spared-abus": {Name: "spared-abus", Events: []Event{
+			{Kind: SpareALanes, A: 0, B: 4, Factor: 2.0 / 3.0},
+		}},
+		// Firmware guarded two cores out of chip 0.
+		"guarded-cores": {Name: "guarded-cores", Events: []Event{
+			{Kind: GuardCores, Chip: 0, N: 2},
+		}},
+		// Chip 3 lost two of its eight memory channels.
+		"lost-channels": {Name: "lost-channels", Events: []Event{
+			{Kind: LoseChannels, Chip: 3, N: 2},
+		}},
+		// Centaur links retrained at 90% with a 30 ns replay penalty.
+		"replay-storm": {Name: "replay-storm", Events: []Event{
+			{Kind: CentaurDerate, Read: 0.9, Write: 0.9, ReplayNs: 30},
+		}},
+		// Everything at once: the machine limps but keeps running.
+		"worst-day": {Name: "worst-day", Events: []Event{
+			{Kind: SpareXLanes, A: 0, B: 1, Factor: 0.5},
+			{Kind: SpareALanes, A: 2, B: 6, Factor: 1.0 / 3.0},
+			{Kind: CentaurDerate, Read: 0.9, Write: 0.9, ReplayNs: 15},
+			{Kind: GuardCores, Chip: 1, N: 1},
+			{Kind: LoseChannels, Chip: 5, N: 1},
+		}},
+	}
+}

@@ -1,0 +1,197 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/obs"
+)
+
+func TestParseGrammar(t *testing.T) {
+	p, err := Parse("xlane:0-1:0.5, guard:1:2, centaur:0.9:0.8:30, channel:5:1, alane:0-4:0.667")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Kind: SpareXLanes, A: 0, B: 1, Factor: 0.5},
+		{Kind: GuardCores, Chip: 1, N: 2},
+		{Kind: CentaurDerate, Read: 0.9, Write: 0.8, ReplayNs: 30},
+		{Kind: LoseChannels, Chip: 5, N: 1},
+		{Kind: SpareALanes, A: 0, B: 4, Factor: 0.667},
+	}
+	if !reflect.DeepEqual(p.Events, want) {
+		t.Errorf("parsed %+v, want %+v", p.Events, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus:1:2",
+		"xlane:0-1",       // missing factor
+		"xlane:01:0.5",    // malformed pair
+		"guard:0:x",       // non-numeric
+		"centaur:0.9:0.9", // missing replay
+		"xlane:0-1:0.5,,", // empty event
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseEmptyIsHealthy(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil || !p.Healthy() {
+		t.Fatalf("empty plan: %v healthy=%v", err, p.Healthy())
+	}
+}
+
+func TestParseCannedNames(t *testing.T) {
+	for _, name := range CannedNames() {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if p.Name != name || p.Healthy() {
+			t.Errorf("Parse(%q) = %q with %d events", name, p.Name, len(p.Events))
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Canned("worst-day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(back.Events, p.Events) {
+		t.Errorf("round trip %+v != %+v", back.Events, p.Events)
+	}
+}
+
+func TestCannedPlansValidate(t *testing.T) {
+	spec := arch.E870()
+	for _, name := range CannedNames() {
+		p, err := Canned(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(spec); err != nil {
+			t.Errorf("canned plan %q invalid on the E870: %v", name, err)
+		}
+	}
+	if _, err := Canned("no-such-plan"); err == nil {
+		t.Error("unknown canned plan accepted")
+	}
+}
+
+func TestCannedPlansNeverAlias(t *testing.T) {
+	a, _ := Canned("worst-day")
+	b, _ := Canned("worst-day")
+	a.Events[0].Factor = 0.001
+	if b.Events[0].Factor == 0.001 {
+		t.Error("canned plans share event storage")
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	spec := arch.E870()
+	for _, bad := range []string{
+		"xlane:0-99:0.5",   // chip out of range
+		"xlane:0-4:0.5",    // A-bus pair named as X-bus
+		"alane:0-1:0.5",    // X-bus pair named as A-bus
+		"guard:0:8",        // guards every core
+		"channel:0:8",      // loses every channel
+		"guard:0:4,guard:0:4", // cumulative guard leaves none
+	} {
+		p, err := Parse(bad)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", bad, err)
+		}
+		if err := p.Validate(spec); err == nil {
+			t.Errorf("Validate accepted %q", bad)
+		}
+	}
+}
+
+func TestDeriveIsDerivationNotMutation(t *testing.T) {
+	spec := arch.E870()
+	healthy := spec.Clone()
+	p, _ := Canned("worst-day")
+	m := p.Derive(spec)
+
+	if !reflect.DeepEqual(spec, healthy) {
+		t.Fatal("Derive mutated the healthy spec")
+	}
+	if !strings.Contains(m.Spec.Name, "[degraded: worst-day]") {
+		t.Errorf("degraded machine name = %q", m.Spec.Name)
+	}
+	if m.Spec == spec {
+		t.Fatal("degraded machine shares the healthy spec")
+	}
+	if m.Spec.PeakDP() >= spec.PeakDP() {
+		t.Error("guarded core did not reduce peak")
+	}
+	if m.Spec.Latency.L4HitNs != spec.Latency.L4HitNs+15 {
+		t.Errorf("replay not folded into L4 latency: %g vs %g", m.Spec.Latency.L4HitNs, spec.Latency.L4HitNs)
+	}
+}
+
+func TestDeriveHealthyPlanEqualsHealthyMachine(t *testing.T) {
+	spec := arch.E870()
+	m := (&Plan{}).Derive(spec)
+	if m.Spec.Name != spec.Name || m.Spec.Guard != nil {
+		t.Errorf("healthy plan derived a degraded machine: %q", m.Spec.Name)
+	}
+}
+
+func TestRandomPlansDeterministicAndValid(t *testing.T) {
+	spec := arch.E870()
+	for _, seed := range []uint64{1, 2, 42, 1 << 40} {
+		a, b := Random(seed, spec, 6), Random(seed, spec, 6)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: two generations differ", seed)
+		}
+		if err := a.Validate(spec); err != nil {
+			t.Errorf("seed %d: random plan invalid: %v", seed, err)
+		}
+		if len(a.Events) != 6 || a.Seed != seed {
+			t.Errorf("seed %d: plan %+v", seed, a)
+		}
+	}
+	if reflect.DeepEqual(Random(1, spec, 6), Random(2, spec, 6)) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestPublishCountsEvents(t *testing.T) {
+	reg := obs.NewRegistry("test")
+	p, _ := Canned("worst-day")
+	p.Publish(reg)
+	f := reg.Child("fault")
+	if got := f.Counter("injected").Load(); got != uint64(len(p.Events)) {
+		t.Errorf("injected = %d, want %d", got, len(p.Events))
+	}
+	if got := f.Counter(GuardCores.String()).Load(); got != 1 {
+		t.Errorf("guard-cores counter = %d, want 1", got)
+	}
+	// Nil registry and healthy plans publish nothing, without panicking.
+	p.Publish(nil)
+	(&Plan{}).Publish(reg)
+}
+
+func TestSummaryDescribesEveryEvent(t *testing.T) {
+	p, _ := Canned("worst-day")
+	lines := p.Summary()
+	if len(lines) != len(p.Events) {
+		t.Fatalf("summary has %d lines for %d events", len(lines), len(p.Events))
+	}
+	if !strings.Contains(lines[0], "X-bus") || !strings.Contains(lines[3], "guarded out") {
+		t.Errorf("summary lines: %q", lines)
+	}
+}

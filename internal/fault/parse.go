@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// Parse reads a plan from its textual form: comma-separated events in
+// the grammar
+//
+//	xlane:<chipA>-<chipB>:<factor>    X-bus spared to factor of width
+//	alane:<chipA>-<chipB>:<factor>    A-bus spared to factor of width
+//	centaur:<read>:<write>:<replayNs> link derates + replay adder
+//	guard:<chip>:<cores>              cores guarded out on chip
+//	channel:<chip>:<channels>         memory channels lost on chip
+//
+// A canned plan name (see CannedNames) is also accepted. Parse checks
+// syntax only; Validate checks the events against a machine spec.
+func Parse(s string) (*Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return &Plan{}, nil
+	}
+	if p, ok := cannedPlans()[s]; ok {
+		return p, nil
+	}
+	p := &Plan{Name: s}
+	for _, part := range strings.Split(s, ",") {
+		e, err := parseEvent(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, e)
+	}
+	return p, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	fields := strings.Split(s, ":")
+	bad := func(format string, args ...any) (Event, error) {
+		return Event{}, fmt.Errorf("fault: bad event %q: %s", s, fmt.Sprintf(format, args...))
+	}
+	switch fields[0] {
+	case "xlane", "alane":
+		if len(fields) != 3 {
+			return bad("want %s:<chipA>-<chipB>:<factor>", fields[0])
+		}
+		a, b, err := parseChipPair(fields[1])
+		if err != nil {
+			return bad("%v", err)
+		}
+		factor, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return bad("factor %q is not a number", fields[2])
+		}
+		kind := SpareXLanes
+		if fields[0] == "alane" {
+			kind = SpareALanes
+		}
+		return Event{Kind: kind, A: a, B: b, Factor: factor}, nil
+	case "centaur":
+		if len(fields) != 4 {
+			return bad("want centaur:<read>:<write>:<replayNs>")
+		}
+		var vals [3]float64
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return bad("%q is not a number", f)
+			}
+			vals[i] = v
+		}
+		return Event{Kind: CentaurDerate, Read: vals[0], Write: vals[1], ReplayNs: vals[2]}, nil
+	case "guard", "channel":
+		if len(fields) != 3 {
+			return bad("want %s:<chip>:<count>", fields[0])
+		}
+		chip, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return bad("chip %q is not a number", fields[1])
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return bad("count %q is not a number", fields[2])
+		}
+		kind := GuardCores
+		if fields[0] == "channel" {
+			kind = LoseChannels
+		}
+		return Event{Kind: kind, Chip: arch.ChipID(chip), N: n}, nil
+	default:
+		return bad("unknown kind %q (want xlane, alane, centaur, guard or channel)", fields[0])
+	}
+}
+
+func parseChipPair(s string) (arch.ChipID, arch.ChipID, error) {
+	a, b, ok := strings.Cut(s, "-")
+	if !ok {
+		return 0, 0, fmt.Errorf("chip pair %q wants <chipA>-<chipB>", s)
+	}
+	ai, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, fmt.Errorf("chip %q is not a number", a)
+	}
+	bi, err := strconv.Atoi(b)
+	if err != nil {
+		return 0, 0, fmt.Errorf("chip %q is not a number", b)
+	}
+	return arch.ChipID(ai), arch.ChipID(bi), nil
+}

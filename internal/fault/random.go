@@ -1,0 +1,90 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/rng"
+)
+
+// Random generates a plan of n random RAS events valid for the spec,
+// fully determined by the seed: the same (seed, spec, n) triple always
+// yields the same plan, so a degraded run is reproducible from its
+// seed alone. Event parameters are drawn from the plausible field
+// ranges (lane sparing to one half or one lane out, single-core
+// guards, one or two channels lost, mild Centaur derates).
+func Random(seed uint64, spec *arch.SystemSpec, n int) *Plan {
+	if n < 0 {
+		panic(fmt.Sprintf("fault: cannot generate %d events", n))
+	}
+	r := rng.New(seed)
+	p := &Plan{Name: fmt.Sprintf("random-%d", seed), Seed: seed}
+	var xlinks, alinks []arch.Link
+	for _, l := range spec.Topology.Links() {
+		if l.Kind == arch.XBus {
+			xlinks = append(xlinks, l)
+		} else {
+			alinks = append(alinks, l)
+		}
+	}
+	// Aggregate trackers keep cumulative random events within the
+	// validity limits (a chip must keep a core and a channel).
+	guarded := make([]int, spec.Topology.Chips)
+	lost := make([]int, spec.Topology.Chips)
+	for len(p.Events) < n {
+		switch Kind(r.Intn(int(numKinds))) {
+		case SpareXLanes:
+			if len(xlinks) == 0 {
+				continue
+			}
+			l := xlinks[r.Intn(len(xlinks))]
+			factors := []float64{0.5, 0.75}
+			p.Events = append(p.Events, Event{
+				Kind: SpareXLanes, A: l.A, B: l.B,
+				Factor: factors[r.Intn(len(factors))],
+			})
+		case SpareALanes:
+			if len(alinks) == 0 {
+				continue
+			}
+			l := alinks[r.Intn(len(alinks))]
+			// Sparing whole lanes out of the bonded bundle.
+			out := 1 + r.Intn(l.Count)
+			if out == l.Count {
+				out = l.Count - 1
+			}
+			if out == 0 {
+				continue
+			}
+			p.Events = append(p.Events, Event{
+				Kind: SpareALanes, A: l.A, B: l.B,
+				Factor: float64(l.Count-out) / float64(l.Count),
+			})
+		case CentaurDerate:
+			derates := []float64{0.9, 0.8}
+			replays := []float64{15, 30}
+			p.Events = append(p.Events, Event{
+				Kind:     CentaurDerate,
+				Read:     derates[r.Intn(len(derates))],
+				Write:    derates[r.Intn(len(derates))],
+				ReplayNs: replays[r.Intn(len(replays))],
+			})
+		case GuardCores:
+			c := r.Intn(spec.Topology.Chips)
+			if guarded[c]+1 >= spec.Chip.Cores {
+				continue
+			}
+			guarded[c]++
+			p.Events = append(p.Events, Event{Kind: GuardCores, Chip: arch.ChipID(c), N: 1})
+		case LoseChannels:
+			c := r.Intn(spec.Topology.Chips)
+			k := 1 + r.Intn(2)
+			if lost[c]+k >= spec.Memory.CentaursPerChip {
+				continue
+			}
+			lost[c] += k
+			p.Events = append(p.Events, Event{Kind: LoseChannels, Chip: arch.ChipID(c), N: k})
+		}
+	}
+	return p
+}

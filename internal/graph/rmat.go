@@ -50,10 +50,12 @@ func (c RMATConfig) Vertices() int { return 1 << c.Scale }
 // Edges returns the number of generated edges before mirroring/dedup.
 func (c RMATConfig) Edges() int64 { return int64(c.Vertices()) * int64(c.EdgeFactor) }
 
-// RMATEdges generates the raw edge list.
-func RMATEdges(cfg RMATConfig) (src, dst []int32) {
+// RMATEdges generates the raw edge list. It returns the configuration
+// error, if any, instead of panicking, so CLI callers can report bad
+// flags gracefully.
+func RMATEdges(cfg RMATConfig) (src, dst []int32, err error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, nil, err
 	}
 	r := rng.New(cfg.Seed)
 	n := cfg.Edges()
@@ -71,7 +73,7 @@ func RMATEdges(cfg RMATConfig) (src, dst []int32) {
 		src = append(src, i)
 		dst = append(dst, j)
 	}
-	return src, dst
+	return src, dst, nil
 }
 
 // rmatOne draws one edge by recursive quadrant descent.
@@ -101,10 +103,11 @@ func rmatOne(cfg RMATConfig, r *rng.Rand) (int32, int32) {
 // contributes to both endpoints), without materializing the edge list.
 // This is what lets the Figure 10 projection reach paper scales: the
 // degree array for scale s costs 4 * 2^s bytes while the edge list would
-// cost 8 * 16 * 2^s.
-func RMATDegrees(cfg RMATConfig) []int32 {
+// cost 8 * 16 * 2^s. Like RMATEdges it returns the configuration error
+// instead of panicking.
+func RMATDegrees(cfg RMATConfig) ([]int32, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	deg := make([]int32, cfg.Vertices())
 	r := rng.New(cfg.Seed)
@@ -121,14 +124,19 @@ func RMATDegrees(cfg RMATConfig) []int32 {
 		deg[i]++
 		deg[j]++
 	}
-	return deg
+	return deg, nil
 }
 
 // RMAT generates the graph and assembles it into a deduplicated CSR
 // adjacency matrix (values all 1). With Undirected set, each edge is
-// mirrored before assembly, producing a symmetric matrix.
+// mirrored before assembly, producing a symmetric matrix. It keeps the
+// panic-on-invalid-config contract for the model code paths that build
+// graphs from programmatic configurations; CLIs validate first.
 func RMAT(cfg RMATConfig) *CSR {
-	src, dst := RMATEdges(cfg)
+	src, dst, err := RMATEdges(cfg)
+	if err != nil {
+		panic(err)
+	}
 	n := cfg.Vertices()
 	coo := &COO{Rows: n, Cols: n}
 	if cfg.Undirected {

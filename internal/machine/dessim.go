@@ -33,18 +33,31 @@ func (m *Machine) SimulateRandomAccess(threads, streams int, horizonNs float64) 
 // permille, since counters and gauges are integers). A nil registry
 // makes it identical to SimulateRandomAccess.
 func (m *Machine) SimulateRandomAccessObs(threads, streams int, horizonNs float64, reg *obs.Registry) units.Bandwidth {
+	return m.SimulateRandomAccessRun(threads, streams, horizonNs, reg, nil)
+}
+
+// SimulateRandomAccessRun is SimulateRandomAccessObs with a watchdog
+// budget attached to the event loop: every dispatched event charges one
+// unit, and an exhausted or cancelled budget aborts the simulation with
+// an engine.Trip panic for the harness's isolation wrapper to catch. A
+// nil budget runs unwatched.
+func (m *Machine) SimulateRandomAccessRun(threads, streams int, horizonNs float64, reg *obs.Registry, budget *engine.Budget) units.Bandwidth {
 	if threads <= 0 || streams <= 0 || horizonNs <= 0 {
 		panic(fmt.Sprintf("machine: invalid DES parameters %d/%d/%g", threads, streams, horizonNs))
 	}
 	calib := m.Mem.Calibration()
 	const serviceNs = 50.0
-	transitNs := calib.RandomBaseLatencyNs - serviceNs
+	// A degraded subsystem pays its replay adder in the transit leg: the
+	// bank service time models DRAM occupancy, which the link replay does
+	// not change. This mirrors the analytic model's LoadedRandomLatencyNs.
+	transitNs := calib.RandomBaseLatencyNs + m.Mem.Degradation().ReplayNs() - serviceNs
 	if transitNs < 0 {
 		transitNs = 0
 	}
-	// Saturated line rate implied by the calibrated peak fraction.
-	peakLinesPerNs := float64(m.Spec.PeakReadBW()) * calib.RandomPeakFraction /
-		float64(trace.LineSize) * 1e-9
+	// Saturated line rate implied by the calibrated peak fraction; the
+	// degradation-aware ceiling keeps the DES bank pool and the analytic
+	// cap in agreement on degraded machines too.
+	peakLinesPerNs := float64(m.Mem.RandomPeakBandwidth()) / float64(trace.LineSize) * 1e-9
 	banks := int(peakLinesPerNs*serviceNs + 0.5)
 	if banks < 1 {
 		banks = 1
@@ -57,6 +70,7 @@ func (m *Machine) SimulateRandomAccessObs(threads, streams int, horizonNs float6
 	chasers := perCore * m.Spec.TotalCores()
 
 	var sim engine.Sim
+	sim.SetBudget(budget)
 	// Individually addressed banks: a random access targets a specific
 	// bank, so conflicts appear at birthday-paradox rates long before
 	// the aggregate pool saturates — the effect behind the analytic

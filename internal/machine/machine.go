@@ -33,10 +33,24 @@ func New(spec *arch.SystemSpec) *Machine {
 
 // NewWithCalibration builds a machine with explicit calibration profiles.
 func NewWithCalibration(spec *arch.SystemSpec, fc fabric.Calibration, mc memsys.Calibration) *Machine {
+	return NewDegraded(spec, fc, mc, nil, nil)
+}
+
+// NewDegraded builds a machine carrying RAS degradation overlays: fd
+// derates fabric links (lane sparing), md derates memory channels and
+// Centaur links. Either may be nil. The spec's own Guard map (guarded
+// cores) and latency adders are expected to already be part of spec —
+// degraded machines are derived by internal/fault through this
+// constructor, never by mutating a built Machine, so a degraded and a
+// healthy Machine coexist safely in one process.
+func NewDegraded(spec *arch.SystemSpec, fc fabric.Calibration, mc memsys.Calibration, fd *fabric.Degradation, md *memsys.Degradation) *Machine {
+	if err := spec.Guard.Validate(spec); err != nil {
+		panic(err)
+	}
 	return &Machine{
 		Spec: spec,
-		Net:  fabric.New(spec.Topology, spec.Latency, fc),
-		Mem:  memsys.New(spec, mc),
+		Net:  fabric.NewDegraded(spec.Topology, spec.Latency, fc, fd),
+		Mem:  memsys.NewDegraded(spec, mc, md),
 	}
 }
 

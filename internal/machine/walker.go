@@ -3,6 +3,7 @@ package machine
 import (
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/prefetch"
 	"repro/internal/tlb"
@@ -43,6 +44,10 @@ type WalkerConfig struct {
 	// flushes deltas at Run boundaries (or on PublishStats), so a nil
 	// registry — the default — leaves the hot path untouched.
 	Obs *obs.Registry
+	// Budget, when non-nil, is charged one unit per access and trips
+	// the harness watchdog (panics with engine.Trip) when exhausted or
+	// cancelled. Nil — the default — costs one branch per access.
+	Budget *engine.Budget
 }
 
 // Walker simulates one hardware thread's dependent-load accesses with
@@ -162,6 +167,7 @@ func (w *Walker) levelLatencyNs(level cache.Level, home arch.ChipID, strided boo
 //
 //p8:hotpath
 func (w *Walker) Access(addr uint64) float64 {
+	w.cfg.Budget.Charge(1)
 	var latency float64
 	switch w.xl.Translate(addr) {
 	case tlb.ERATMiss:

@@ -1,0 +1,164 @@
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Degradation is an overlay of memory-subsystem RAS events on a healthy
+// spec: lost memory channels (a failed Centaur or DIMM group takes its
+// channel out of the interleave), a read/write link derate (the Centaur
+// DMI link retrains at reduced speed after persistent CRC errors), and a
+// replay latency adder (ECC correction and link replay retries on every
+// access through a marginal lane). Like fabric.Degradation it is
+// read-only once handed to a Model, and a nil *Degradation means a
+// healthy subsystem.
+type Degradation struct {
+	lostChannels map[arch.ChipID]int
+	readDerate   float64
+	writeDerate  float64
+	replayNs     float64
+}
+
+// NewDegradation returns an empty overlay (all channels up, links at
+// full speed, no replay latency).
+func NewDegradation() *Degradation {
+	return &Degradation{
+		lostChannels: map[arch.ChipID]int{},
+		readDerate:   1,
+		writeDerate:  1,
+	}
+}
+
+// LoseChannels records n additional memory channels lost on chip c. It
+// returns the overlay for chaining.
+func (d *Degradation) LoseChannels(c arch.ChipID, n int) *Degradation {
+	if n < 0 {
+		panic(fmt.Sprintf("memsys: cannot lose %d channels", n))
+	}
+	d.lostChannels[c] += n
+	return d
+}
+
+// DerateLinks scales the Centaur read and write link speeds by the
+// given factors (0 < factor <= 1); repeated calls compose
+// multiplicatively. It returns the overlay for chaining.
+func (d *Degradation) DerateLinks(read, write float64) *Degradation {
+	if read <= 0 || read > 1 || write <= 0 || write > 1 {
+		panic(fmt.Sprintf("memsys: link derate (%g,%g) out of (0,1]", read, write))
+	}
+	d.readDerate *= read
+	d.writeDerate *= write
+	return d
+}
+
+// AddReplayNs adds a per-access replay latency (nanoseconds) paid by
+// every memory access through the degraded links. It returns the
+// overlay for chaining.
+func (d *Degradation) AddReplayNs(ns float64) *Degradation {
+	if ns < 0 {
+		panic(fmt.Sprintf("memsys: negative replay latency %g", ns))
+	}
+	d.replayNs += ns
+	return d
+}
+
+// LostChannels returns the number of channels lost on chip c; zero on a
+// nil overlay.
+func (d *Degradation) LostChannels(c arch.ChipID) int {
+	if d == nil {
+		return 0
+	}
+	return d.lostChannels[c]
+}
+
+// ReadDerate returns the Centaur read-link speed factor (1 when healthy).
+func (d *Degradation) ReadDerate() float64 {
+	if d == nil {
+		return 1
+	}
+	return d.readDerate
+}
+
+// WriteDerate returns the Centaur write-link speed factor (1 when healthy).
+func (d *Degradation) WriteDerate() float64 {
+	if d == nil {
+		return 1
+	}
+	return d.writeDerate
+}
+
+// ReplayNs returns the per-access replay latency adder (0 when healthy).
+func (d *Degradation) ReplayNs() float64 {
+	if d == nil {
+		return 0
+	}
+	return d.replayNs
+}
+
+// Degraded reports whether the overlay changes anything.
+func (d *Degradation) Degraded() bool {
+	if d == nil {
+		return false
+	}
+	return len(d.lostChannels) > 0 || d.readDerate < 1 || d.writeDerate < 1 || d.replayNs > 0
+}
+
+// ChannelFactor returns the fraction of chip c's memory channels still
+// in service (1 on a nil overlay).
+func (d *Degradation) ChannelFactor(c arch.ChipID, channelsPerChip int) float64 {
+	lost := d.LostChannels(c)
+	if lost == 0 {
+		return 1
+	}
+	return float64(channelsPerChip-lost) / float64(channelsPerChip)
+}
+
+// MeanChannelFactor returns the average remaining-channel fraction over
+// chips [0, chips).
+func (d *Degradation) MeanChannelFactor(chips, channelsPerChip int) float64 {
+	if d == nil || len(d.lostChannels) == 0 {
+		return 1
+	}
+	total := 0.0
+	for c := 0; c < chips; c++ {
+		total += d.ChannelFactor(arch.ChipID(c), channelsPerChip)
+	}
+	return total / float64(chips)
+}
+
+// InterleaveWeights returns per-chip interleave weights proportional to
+// each chip's surviving channel count, for rebalancing interleaved
+// placements away from chips that lost channels. The slice has one
+// entry per chip in [0, chips).
+func (d *Degradation) InterleaveWeights(chips, channelsPerChip int) []int {
+	weights := make([]int, chips)
+	for c := range weights {
+		w := channelsPerChip - d.LostChannels(arch.ChipID(c))
+		if w < 0 {
+			w = 0
+		}
+		weights[c] = w
+	}
+	return weights
+}
+
+// Validate checks the overlay against a spec's memory geometry: lost
+// channels must name chips in range and leave at least one channel per
+// chip in service.
+func (d *Degradation) Validate(sys *arch.SystemSpec) error {
+	if d == nil {
+		return nil
+	}
+	perChip := sys.Memory.CentaursPerChip
+	for c, n := range d.lostChannels {
+		if int(c) < 0 || int(c) >= sys.Topology.Chips {
+			return fmt.Errorf("memsys: lost channels name chip %d outside [0,%d)", c, sys.Topology.Chips)
+		}
+		if n >= perChip {
+			return fmt.Errorf("memsys: losing %d of %d channels on chip %d leaves none", n, perChip, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package memsys
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestMemDegradationNilSafe(t *testing.T) {
+	var d *Degradation
+	if d.LostChannels(0) != 0 || d.ReadDerate() != 1 || d.WriteDerate() != 1 || d.ReplayNs() != 0 {
+		t.Error("nil overlay is not a healthy subsystem")
+	}
+	if d.Degraded() || d.ChannelFactor(0, 8) != 1 || d.MeanChannelFactor(8, 8) != 1 {
+		t.Error("nil overlay reports degradation")
+	}
+	if err := d.Validate(arch.E870()); err != nil {
+		t.Errorf("nil Validate: %v", err)
+	}
+}
+
+func TestMemDegradationAccumulates(t *testing.T) {
+	d := NewDegradation().
+		LoseChannels(0, 2).
+		LoseChannels(0, 1).
+		DerateLinks(0.9, 1).
+		DerateLinks(0.9, 0.8).
+		AddReplayNs(15).
+		AddReplayNs(15)
+	if got := d.LostChannels(0); got != 3 {
+		t.Errorf("lost channels = %d, want 3", got)
+	}
+	if got := d.ReadDerate(); got != 0.81 {
+		t.Errorf("read derate = %g, want 0.81 (multiplicative)", got)
+	}
+	if got := d.WriteDerate(); got != 0.8 {
+		t.Errorf("write derate = %g, want 0.8", got)
+	}
+	if got := d.ReplayNs(); got != 30 {
+		t.Errorf("replay = %g, want 30 (additive)", got)
+	}
+	if !d.Degraded() {
+		t.Error("overlay with events reports healthy")
+	}
+}
+
+func TestMemDegradationChannelFactors(t *testing.T) {
+	d := NewDegradation().LoseChannels(0, 4)
+	if got := d.ChannelFactor(0, 8); got != 0.5 {
+		t.Errorf("chip 0 factor = %g, want 0.5", got)
+	}
+	if got := d.ChannelFactor(1, 8); got != 1 {
+		t.Errorf("chip 1 factor = %g, want 1", got)
+	}
+	if got, want := d.MeanChannelFactor(8, 8), (0.5+7)/8; got != want {
+		t.Errorf("mean factor = %g, want %g", got, want)
+	}
+	weights := d.InterleaveWeights(8, 8)
+	if weights[0] != 4 || weights[1] != 8 || len(weights) != 8 {
+		t.Errorf("interleave weights = %v, want [4 8 8 ...]", weights)
+	}
+}
+
+func TestMemDegradationValidate(t *testing.T) {
+	spec := arch.E870()
+	per := spec.Memory.CentaursPerChip
+	if err := NewDegradation().LoseChannels(0, per-1).Validate(spec); err != nil {
+		t.Errorf("losing all but one channel should validate: %v", err)
+	}
+	if err := NewDegradation().LoseChannels(0, per).Validate(spec); err == nil {
+		t.Error("losing every channel validated")
+	}
+	if err := NewDegradation().LoseChannels(arch.ChipID(spec.Topology.Chips), 1).Validate(spec); err == nil {
+		t.Error("losing channels on an out-of-range chip validated")
+	}
+}
+
+func TestDegradedModelBandwidth(t *testing.T) {
+	spec := arch.E870()
+	calib := E870Calibration()
+	healthy := New(spec, calib)
+
+	derated := NewDegraded(spec, calib, NewDegradation().DerateLinks(0.8, 0.8))
+	if got, want := derated.SystemStream(2.0/3).GBps(), healthy.SystemStream(2.0/3).GBps(); got >= want {
+		t.Errorf("derated stream %g not below healthy %g", got, want)
+	}
+	if got, want := derated.RandomPeakBandwidth().GBps(), healthy.RandomPeakBandwidth().GBps(); got >= want {
+		t.Errorf("derated random peak %g not below healthy %g", got, want)
+	}
+
+	replay := NewDegraded(spec, calib, NewDegradation().AddReplayNs(30))
+	if got, want := replay.LoadedRandomLatencyNs(1), healthy.LoadedRandomLatencyNs(1); got != want+30 {
+		t.Errorf("replay latency = %g, want %g + 30", got, want)
+	}
+
+	lost := NewDegraded(spec, calib, NewDegradation().LoseChannels(0, 4))
+	if got, want := lost.SystemStream(2.0/3).GBps(), healthy.SystemStream(2.0/3).GBps(); got >= want {
+		t.Errorf("channel-lossy stream %g not below healthy %g", got, want)
+	}
+}

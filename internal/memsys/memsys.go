@@ -70,18 +70,31 @@ func E870Calibration() Calibration {
 type Model struct {
 	sys   *arch.SystemSpec
 	calib Calibration
+	deg   *Degradation
 }
 
-// New assembles the model.
+// New assembles the healthy model.
 func New(sys *arch.SystemSpec, calib Calibration) *Model {
+	return NewDegraded(sys, calib, nil)
+}
+
+// NewDegraded assembles a model whose channels and links carry the RAS
+// overlay deg (nil for a healthy subsystem).
+func NewDegraded(sys *arch.SystemSpec, calib Calibration, deg *Degradation) *Model {
 	if calib.RWEfficiency == nil {
 		panic("memsys: calibration requires an RWEfficiency curve")
 	}
-	return &Model{sys: sys, calib: calib}
+	if err := deg.Validate(sys); err != nil {
+		panic(err)
+	}
+	return &Model{sys: sys, calib: calib, deg: deg}
 }
 
 // Calibration returns the model's constants.
 func (m *Model) Calibration() Calibration { return m.calib }
+
+// Degradation returns the memory RAS overlay (nil when healthy).
+func (m *Model) Degradation() *Degradation { return m.deg }
 
 // ReadShare converts a read:write ratio to a read share f. Write-only is
 // expressed as reads=0.
@@ -101,8 +114,9 @@ func (m *Model) StreamBandwidth(f float64, chips int) units.Bandwidth {
 	if chips <= 0 || chips > m.sys.Topology.Chips {
 		panic(fmt.Sprintf("memsys: chip count %d out of range", chips))
 	}
-	readCap := float64(m.sys.Memory.ReadPeak()) * float64(chips)
-	writeCap := float64(m.sys.Memory.WritePeak()) * float64(chips)
+	ch := m.deg.MeanChannelFactor(chips, m.sys.Memory.CentaursPerChip)
+	readCap := float64(m.sys.Memory.ReadPeak()) * float64(chips) * m.deg.ReadDerate() * ch
+	writeCap := float64(m.sys.Memory.WritePeak()) * float64(chips) * m.deg.WriteDerate() * ch
 	bound := linkBound(readCap, writeCap, f)
 	return units.Bandwidth(bound * m.calib.RWEfficiency.At(f))
 }
@@ -177,18 +191,30 @@ func (m *Model) RandomAccess(outstanding int) units.Bandwidth {
 		panic("memsys: outstanding must be positive")
 	}
 	n := float64(outstanding)
-	lat := m.calib.RandomBaseLatencyNs + n*m.calib.RandomQueueNsPerLine
+	lat := m.LoadedRandomLatencyNs(outstanding)
 	bw := n * float64(arch.LineSize) / (lat * 1e-9)
-	cap := float64(m.sys.PeakReadBW()) * m.calib.RandomPeakFraction
+	cap := float64(m.RandomPeakBandwidth())
 	if bw > cap {
 		bw = cap
 	}
 	return units.Bandwidth(bw)
 }
 
+// RandomPeakBandwidth returns the random-access bandwidth ceiling: the
+// calibrated fraction of peak read bandwidth, reduced by channel loss
+// and read-link derates on a degraded subsystem. The DES bank model
+// derives its service capacity from the same figure so the analytic and
+// simulated random-access results degrade together.
+func (m *Model) RandomPeakBandwidth() units.Bandwidth {
+	ch := m.deg.MeanChannelFactor(m.sys.Topology.Chips, m.sys.Memory.CentaursPerChip)
+	cap := float64(m.sys.PeakReadBW()) * m.calib.RandomPeakFraction * m.deg.ReadDerate() * ch
+	return units.Bandwidth(cap)
+}
+
 // LoadedRandomLatencyNs returns the effective per-access latency implied
-// by the loaded random-access model at the given concurrency.
+// by the loaded random-access model at the given concurrency, including
+// any RAS replay adder.
 func (m *Model) LoadedRandomLatencyNs(outstanding int) float64 {
 	n := float64(outstanding)
-	return m.calib.RandomBaseLatencyNs + n*m.calib.RandomQueueNsPerLine
+	return m.calib.RandomBaseLatencyNs + m.deg.ReplayNs() + n*m.calib.RandomQueueNsPerLine
 }

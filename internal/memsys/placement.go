@@ -22,6 +22,10 @@ const (
 	PlaceOnChip
 	// PlaceInterleaved round-robins pages across all chips.
 	PlaceInterleaved
+	// PlaceWeighted interleaves pages across chips proportionally to
+	// per-chip weights — the rebalanced policy a degraded machine uses
+	// so chips that lost memory channels receive fewer pages.
+	PlaceWeighted
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +37,8 @@ func (k PlacementKind) String() string {
 		return "on-chip"
 	case PlaceInterleaved:
 		return "interleaved"
+	case PlaceWeighted:
+		return "weighted"
 	default:
 		return fmt.Sprintf("PlacementKind(%d)", int(k))
 	}
@@ -49,6 +55,10 @@ type Placement struct {
 	Granule units.Bytes
 	// Chips is the socket count for interleaving.
 	Chips int
+	// Weights gives each chip's share of granules for PlaceWeighted;
+	// Weights[i] granules in every round go to chip i. A zero weight
+	// takes the chip out of the interleave entirely.
+	Weights []int
 }
 
 // Local returns the default local policy for a requester.
@@ -64,6 +74,12 @@ func OnChip(chip arch.ChipID) Placement {
 // Interleaved spreads pages round-robin over chips.
 func Interleaved(chips int) Placement {
 	return Placement{Kind: PlaceInterleaved, Chips: chips}
+}
+
+// WeightedInterleaved spreads pages over chips proportionally to
+// weights (one entry per chip); at least one weight must be positive.
+func WeightedInterleaved(weights []int) Placement {
+	return Placement{Kind: PlaceWeighted, Chips: len(weights), Weights: weights}
 }
 
 // HomeFunc returns the address-to-home-chip mapping the machine walker
@@ -86,7 +102,37 @@ func (p Placement) HomeFunc() func(addr uint64) arch.ChipID {
 		return func(addr uint64) arch.ChipID {
 			return arch.ChipID((addr / g) % n)
 		}
+	case PlaceWeighted:
+		pattern := weightedPattern(p.Weights)
+		granule := p.Granule
+		if granule == 0 {
+			granule = 64 * units.KiB
+		}
+		g := uint64(granule)
+		n := uint64(len(pattern))
+		return func(addr uint64) arch.ChipID {
+			return pattern[(addr/g)%n]
+		}
 	default:
 		panic(fmt.Sprintf("memsys: unknown placement %v", p.Kind))
 	}
+}
+
+// weightedPattern expands per-chip weights into the repeating granule
+// pattern weighted interleaving walks: weights {3,1} become the chip
+// sequence [0 0 0 1]. It panics when no weight is positive.
+func weightedPattern(weights []int) []arch.ChipID {
+	var pattern []arch.ChipID
+	for chip, w := range weights {
+		if w < 0 {
+			panic(fmt.Sprintf("memsys: negative interleave weight %d for chip %d", w, chip))
+		}
+		for i := 0; i < w; i++ {
+			pattern = append(pattern, arch.ChipID(chip))
+		}
+	}
+	if len(pattern) == 0 {
+		panic("memsys: weighted placement needs at least one positive weight")
+	}
+	return pattern
 }

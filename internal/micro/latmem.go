@@ -9,6 +9,7 @@ package micro
 
 import (
 	"repro/internal/arch"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -40,15 +41,17 @@ func Figure2Sizes() []units.Bytes {
 // paper configures lmbench). maxAccesses caps the measured accesses per
 // point (<= 0 means a full lap) to bound runtime on large sets; a full
 // warm lap always precedes measurement. A non-nil reg aggregates every
-// point's walker counters (nil runs uninstrumented).
-func LatencyCurve(m *machine.Machine, page arch.PageSize, sizes []units.Bytes, maxAccesses int, reg *obs.Registry) []LatPoint {
+// point's walker counters (nil runs uninstrumented); a non-nil budget
+// charges one unit per access and trips the harness watchdog when
+// exhausted.
+func LatencyCurve(m *machine.Machine, page arch.PageSize, sizes []units.Bytes, maxAccesses int, reg *obs.Registry, budget *engine.Budget) []LatPoint {
 	out := make([]LatPoint, 0, len(sizes))
 	for _, ws := range sizes {
 		lines := int(ws / 128)
 		if lines < 2 {
 			continue
 		}
-		w := m.NewWalker(machine.WalkerConfig{Page: page, DisablePrefetch: true, Obs: reg})
+		w := m.NewWalker(machine.WalkerConfig{Page: page, DisablePrefetch: true, Obs: reg, Budget: budget})
 		// The warm lap always covers the whole working set: capping it
 		// would leave only a cache-sized warmed prefix and the measured
 		// pass would hit the wrong level.

@@ -68,7 +68,12 @@ func (jm JaccardModel) DedupAt(scale int) float64 {
 func ProjectJaccard(m *machine.Machine, jm JaccardModel, scale int, seed uint64) JaccardPoint {
 	cfg := graph.DefaultRMAT(scale, seed)
 	cfg.EdgeFactor = 8 // mirrored to average degree 16, as in the paper
-	deg := graph.RMATDegrees(cfg)
+	deg, err := graph.RMATDegrees(cfg)
+	if err != nil {
+		// DefaultRMAT configurations are valid by construction; an error
+		// here is a programming bug, same contract as graph.RMAT.
+		panic(err)
+	}
 	var ops, edges float64
 	for _, d := range deg {
 		ops += float64(d) * float64(d)

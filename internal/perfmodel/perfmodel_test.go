@@ -260,8 +260,12 @@ func TestJaccardDedupRatioRealistic(t *testing.T) {
 
 		raw := graph.DefaultRMAT(scale, 1)
 		raw.EdgeFactor = 8
+		rawDeg, err := graph.RMATDegrees(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var rawOps float64
-		for _, d := range graph.RMATDegrees(raw) {
+		for _, d := range rawDeg {
 			rawOps += float64(d) * float64(d)
 		}
 		measured := float64(st.Pairs) / rawOps

@@ -1,0 +1,53 @@
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// RemapThreads distributes a workload's software threads over the
+// active (non-guarded) cores of a degraded chip, the way the POWER
+// hypervisor re-homes the threads of a guarded core: round-robin, so
+// core loads differ by at most one thread. It returns the per-core
+// thread counts (one entry per active core). It panics when no core is
+// active or the per-core SMT capacity cannot hold the threads.
+func RemapThreads(chip arch.ChipSpec, activeCores, threads int) []int {
+	if activeCores <= 0 {
+		panic(fmt.Sprintf("smt: cannot remap threads onto %d active cores", activeCores))
+	}
+	if threads < 0 {
+		panic(fmt.Sprintf("smt: cannot remap %d threads", threads))
+	}
+	if threads > activeCores*chip.ThreadsPerCore {
+		panic(fmt.Sprintf("smt: %d threads exceed %d cores x SMT%d",
+			threads, activeCores, chip.ThreadsPerCore))
+	}
+	counts := make([]int, activeCores)
+	base := threads / activeCores
+	extra := threads % activeCores
+	for i := range counts {
+		counts[i] = base
+		if i < extra {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// RemappedThroughput returns the aggregate FMA issue rate (FMAs per
+// cycle) of a chip running `threads` threads of a kernel with `fmas`
+// independent FMA chains per thread, after re-homing the threads onto
+// `activeCores` cores. Guarding cores concentrates threads onto the
+// survivors, pushing them into higher SMT modes — which is exactly the
+// resource-sharing degradation Figure 5 quantifies per core.
+func RemappedThroughput(chip arch.ChipSpec, activeCores, threads, fmas int) float64 {
+	var total float64
+	for _, n := range RemapThreads(chip, activeCores, threads) {
+		if n == 0 {
+			continue
+		}
+		total += Throughput(chip, FMAKernel{FMAs: fmas, Threads: n})
+	}
+	return total
+}

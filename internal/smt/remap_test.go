@@ -1,0 +1,66 @@
+package smt
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestRemapThreadsRoundRobin(t *testing.T) {
+	chip := arch.E870().Chip
+	cases := []struct {
+		active, threads int
+		want            []int
+	}{
+		{8, 32, []int{4, 4, 4, 4, 4, 4, 4, 4}},
+		{6, 32, []int{6, 6, 5, 5, 5, 5}},
+		{4, 32, []int{8, 8, 8, 8}},
+		{3, 4, []int{2, 1, 1}},
+		{8, 0, []int{0, 0, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		got := RemapThreads(chip, c.active, c.threads)
+		if len(got) != len(c.want) {
+			t.Errorf("RemapThreads(%d cores, %d threads) = %v, want %v", c.active, c.threads, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("RemapThreads(%d cores, %d threads) = %v, want %v", c.active, c.threads, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestRemapThreadsPanics(t *testing.T) {
+	chip := arch.E870().Chip
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("zero cores", func() { RemapThreads(chip, 0, 1) })
+	expectPanic("negative threads", func() { RemapThreads(chip, 4, -1) })
+	expectPanic("over SMT capacity", func() { RemapThreads(chip, 4, 4*chip.ThreadsPerCore+1) })
+}
+
+func TestRemappedThroughputDegrades(t *testing.T) {
+	chip := arch.E870().Chip
+	threads := chip.Cores * 4 // the chip fully loaded at SMT4
+	healthy := RemappedThroughput(chip, chip.Cores, threads, 4)
+	prev := healthy
+	for active := chip.Cores - 1; active >= chip.Cores/2; active-- {
+		cur := RemappedThroughput(chip, active, threads, 4)
+		if cur > prev {
+			t.Errorf("throughput rose from %.2f to %.2f when guarding down to %d cores", prev, cur, active)
+		}
+		prev = cur
+	}
+	if prev >= healthy {
+		t.Errorf("guarding half the chip did not reduce throughput (%.2f vs %.2f)", prev, healthy)
+	}
+}

@@ -5,9 +5,12 @@
 //
 // Two rule groups, keyed by package name:
 //
-//  1. In the simulation packages (machine, engine, experiments): no
-//     wall-clock reads (time.Now, time.Since, ...) and no math/rand —
-//     simulated time and the seeded repro/internal/rng only.
+//  1. In the simulation packages (machine, engine, experiments, fault):
+//     no wall-clock reads (time.Now, time.Since, ...) and no math/rand —
+//     simulated time and the seeded repro/internal/rng only. Package
+//     fault is in the set because a fault plan must be reproducible
+//     from its seed alone: the same plan string or seed has to derive
+//     bit-identical degraded machines on every run.
 //
 //  2. In the simulation packages plus obs (whose exporters render the
 //     reports): ranging over a map must not let Go's randomized
@@ -34,10 +37,10 @@ import (
 )
 
 // simPackages need rule 1 (and rule 2).
-var simPackages = map[string]bool{"machine": true, "engine": true, "experiments": true}
+var simPackages = map[string]bool{"machine": true, "engine": true, "experiments": true, "fault": true}
 
 // orderedPackages need rule 2: simPackages plus the exporters.
-var orderedPackages = map[string]bool{"machine": true, "engine": true, "experiments": true, "obs": true}
+var orderedPackages = map[string]bool{"machine": true, "engine": true, "experiments": true, "fault": true, "obs": true}
 
 // wallClock is the banned wall-clock surface of package time.
 var wallClock = map[string]bool{

@@ -1,0 +1,28 @@
+// Package fault is a golden stand-in for repro/internal/fault: fault
+// plans must be reproducible from their seed alone, so the simulation
+// rules apply.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Plan stands in for a fault plan.
+type Plan struct {
+	Seed   uint64
+	Events []int
+}
+
+func stamped() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a deterministic package`
+}
+
+func jittered(p *Plan) {
+	p.Events = append(p.Events, rand.Intn(4)) // want `math/rand in a deterministic package`
+}
+
+func seeded(p *Plan) int {
+	// Deriving everything from the stored seed is the sanctioned path.
+	return int(p.Seed % 4)
+}

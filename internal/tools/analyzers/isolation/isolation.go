@@ -1,0 +1,99 @@
+// Package isolation enforces the harness's panic-isolation contract:
+// the repository's experiments and model code fail loudly (panic on
+// contract violations), and exactly one layer — the hardened harness
+// wrapper in package power8, annotated //p8:isolation — is allowed to
+// recover and convert a panic into a failed report. Anywhere else a
+// recover() would silently swallow a bug that the harness is designed
+// to surface as a FAILED report with a stack.
+//
+// Two rules:
+//
+//  1. recover() may be called only inside a function whose doc comment
+//     carries the //p8:isolation directive (deferred closures inside
+//     such a function count as inside it).
+//  2. The //p8:isolation directive itself is only valid in package
+//     power8, the harness; annotating functions elsewhere would spread
+//     recovery points back into the layers the contract keeps honest.
+//
+// Test files are outside the lint surface (the loader parses non-test
+// sources only), so tests remain free to recover around intentionally
+// panicking calls.
+//
+// Deviations are suppressed per line with
+// `//p8:allow isolation: <why>`.
+package isolation
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// Directive marks the functions allowed to recover.
+const Directive = "//p8:isolation"
+
+// harnessPackage is the only package that may carry the directive.
+const harnessPackage = "power8"
+
+// Analyzer is the isolation pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "isolation",
+	Doc:  "recover() is allowed only inside //p8:isolation-annotated harness wrappers, and the directive only in package power8",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Collect the source ranges of annotated functions first; any
+		// recover() outside all of them is a finding.
+		var wrappers []*ast.FuncDecl
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !annotated(fd) {
+				continue
+			}
+			if pass.Pkg.Name() != harnessPackage {
+				pass.Reportf(fd.Pos(), "//p8:isolation outside the harness package %s; recovery points belong to the harness wrapper only", harnessPackage)
+				continue
+			}
+			wrappers = append(wrappers, fd)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "recover" {
+				return true
+			}
+			for _, fd := range wrappers {
+				if call.Pos() >= fd.Pos() && call.Pos() < fd.End() {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "recover() outside a //p8:isolation harness wrapper swallows panics the harness turns into failed reports; let it propagate")
+			return true
+		})
+	}
+	return nil
+}
+
+// annotated reports whether the function's doc comment carries the
+// directive on a line of its own.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package isolation_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/isolation"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", isolation.Analyzer, "power8", "other")
+}

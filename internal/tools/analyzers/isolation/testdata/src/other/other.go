@@ -1,0 +1,21 @@
+// Package other is a golden non-harness package: neither the directive
+// nor recover() is allowed here.
+package other
+
+// wrapped tries to declare its own recovery point outside the harness.
+//
+//p8:isolation
+func wrapped(run func()) { // want `//p8:isolation outside the harness package power8`
+	defer func() {
+		recover() // want `recover\(\) outside a //p8:isolation harness wrapper`
+	}()
+	run()
+}
+
+// bare recovers with no annotation at all.
+func bare(run func()) {
+	defer func() {
+		recover() // want `recover\(\) outside a //p8:isolation harness wrapper`
+	}()
+	run()
+}

@@ -1,0 +1,33 @@
+// Package power8 is a golden stand-in for the harness package.
+package power8
+
+// Report stands in for the experiment report.
+type Report struct{ Err string }
+
+// safeRun is the sanctioned recovery point.
+//
+//p8:isolation
+func safeRun(run func() *Report) (rep *Report) {
+	defer func() {
+		if cause := recover(); cause != nil { // ok: inside the wrapper
+			rep = &Report{Err: "panic"}
+		}
+	}()
+	return run()
+}
+
+// sneaky swallows panics outside the wrapper.
+func sneaky(run func()) {
+	defer func() {
+		recover() // want `recover\(\) outside a //p8:isolation harness wrapper`
+	}()
+	run()
+}
+
+// tolerated shows the suppression protocol.
+func tolerated(run func()) {
+	defer func() {
+		recover() //p8:allow isolation: golden test pins suppression behaviour
+	}()
+	run()
+}

@@ -1,4 +1,4 @@
-// Package analyzers collects the p8lint analyzer suite: the five
+// Package analyzers collects the p8lint analyzer suite: the six
 // machine-checked contracts the simulator's correctness and
 // reproducibility arguments rest on. cmd/p8lint runs the suite from
 // the command line and CI; the per-analyzer packages carry the rules
@@ -10,6 +10,7 @@ import (
 	"repro/internal/tools/analyzers/determinism"
 	"repro/internal/tools/analyzers/frozenmachine"
 	"repro/internal/tools/analyzers/hotpath"
+	"repro/internal/tools/analyzers/isolation"
 	"repro/internal/tools/analyzers/nilsafe"
 	"repro/internal/tools/analyzers/teamuse"
 )
@@ -20,6 +21,7 @@ func All() []*analysis.Analyzer {
 		determinism.Analyzer,
 		frozenmachine.Analyzer,
 		hotpath.Analyzer,
+		isolation.Analyzer,
 		nilsafe.Analyzer,
 		teamuse.Analyzer,
 	}

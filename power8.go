@@ -26,13 +26,11 @@ package power8
 import (
 	"fmt"
 	"runtime"
-	"time"
 
 	"repro/internal/arch"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/obs"
-	"repro/internal/parallel"
 )
 
 // Machine is the assembled POWER8 SMP model; see internal/machine.
@@ -121,16 +119,18 @@ func RunAllParallel(m *Machine, quick bool, workers int) []*Report {
 	return RunAllObserved(m, quick, workers, nil)
 }
 
-// RunObserved is Run with instrumentation: the experiment's counters
-// land in a child scope of root named after the experiment id, and the
-// returned report carries that scope's snapshot in Report.Stats. A nil
-// root behaves exactly like Run.
+// RunObserved is Run with instrumentation and isolation: the
+// experiment's counters land in a child scope of root named after the
+// experiment id, the returned report carries that scope's snapshot in
+// Report.Stats, and a panicking experiment comes back as a failed
+// report instead of crashing the caller. A nil root runs
+// uninstrumented but still isolated.
 func RunObserved(id string, m *Machine, quick bool, root *StatsRegistry) (*Report, error) {
 	exp, ok := experiments.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("power8: unknown experiment %q", id)
 	}
-	return runObserved(exp, m, quick, root, true), nil
+	return RunSuite([]Experiment{exp}, m, RunOptions{Quick: quick, Workers: 1, Stats: root})[0], nil
 }
 
 // RunAllObserved is RunAllParallel with instrumentation. Every
@@ -139,40 +139,9 @@ func RunObserved(id string, m *Machine, quick bool, root *StatsRegistry) (*Repor
 // of smearing into shared ones. Allocation deltas are recorded only on
 // sequential runs (workers == 1): runtime.MemStats is process-global and
 // cannot be attributed to one experiment while others run. A nil root
-// disables instrumentation entirely.
+// disables instrumentation entirely. Every experiment runs isolated —
+// see RunSuite for the full hardening contract (budgets, cancellation,
+// retries).
 func RunAllObserved(m *Machine, quick bool, workers int, root *StatsRegistry) []*Report {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	recordAllocs := workers == 1
-	return parallel.Map(workers, experiments.All(), func(_ int, e Experiment) *Report {
-		// A fresh Context per worker: the struct itself is shared-nothing
-		// even if a future field gains experiment-local mutable state.
-		return runObserved(e, m, quick, root, recordAllocs)
-	})
-}
-
-// runObserved executes one experiment inside its own registry scope and
-// attaches the scope's snapshot plus the harness metrics (wall time as a
-// distribution, allocations as a gauge) to the report.
-func runObserved(e Experiment, m *Machine, quick bool, root *obs.Registry, recordAllocs bool) *Report {
-	scope := root.Child(e.ID) // nil root -> nil scope: uninstrumented
-	var m0 runtime.MemStats
-	if root != nil && recordAllocs {
-		runtime.ReadMemStats(&m0)
-	}
-	start := time.Now()
-	rep := e.Run(&experiments.Context{Machine: m, Quick: quick, Obs: scope})
-	if root != nil {
-		h := scope.Child("harness")
-		h.Distribution("wall_ns").Observe(time.Since(start).Nanoseconds())
-		if recordAllocs {
-			var m1 runtime.MemStats
-			runtime.ReadMemStats(&m1)
-			h.Gauge("allocs").Set(int64(m1.Mallocs - m0.Mallocs))
-		}
-		s := scope.Snapshot()
-		rep.Stats = &s
-	}
-	return rep
+	return RunSuite(experiments.All(), m, RunOptions{Quick: quick, Workers: workers, Stats: root})
 }
