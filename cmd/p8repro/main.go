@@ -16,6 +16,15 @@
 //	p8repro -faults worst-day    # degradation suite under a canned fault plan
 //	p8repro -faults guard:0:2    # ... or an explicit event-grammar plan
 //	p8repro -faultseed 7         # ... or a seeded random plan (reproducible)
+//	p8repro -shards 8            # DES simulations on 8 parallel shards
+//
+// -shards picks the shard count of the discrete-event simulations (the
+// figure4 and deg-plan DES cross-checks): 0 (the default) auto-sizes to
+// the host, 1 forces the sequential merged engine, and larger divisors
+// of the socket count run that many parallel shard workers. Sharded and
+// sequential runs are bit-identical by contract (see DESIGN.md "Sharded
+// DES"); the flag only trades wall time. A count that does not divide
+// the socket topology is rejected up front with exit status 2.
 //
 // -faults and -faultseed switch to the degradation suite: bandwidth-vs-
 // fault sweeps and a healthy-vs-degraded comparison on a machine derived
@@ -50,6 +59,7 @@ import (
 
 	"repro"
 	"repro/internal/fault"
+	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 )
@@ -75,12 +85,13 @@ func run() int {
 		statsaddr  = flag.String("statsaddr", "", "serve the live counter registry over HTTP at this address (implies -stats)")
 		faults     = flag.String("faults", "", "run the degradation suite under this fault plan (canned name or event grammar)")
 		faultseed  = flag.Uint64("faultseed", 0, "run the degradation suite under a random fault plan derived from this seed (0 = off)")
+		shards     = flag.Int("shards", 0, "DES shard count for the simulated experiments (0 = auto, must divide the socket count)")
 	)
 	flag.Parse()
 
 	// Validate flag combinations up front with a friendly message and the
 	// usage text rather than failing mid-run.
-	if err := validateFlags(*workers, *kworkers, *grainf, *faults, *faultseed, *ablations); err != nil {
+	if err := validateFlags(*workers, *kworkers, *grainf, *shards, *faults, *faultseed, *ablations); err != nil {
 		fmt.Fprintln(os.Stderr, "p8repro:", err)
 		flag.Usage()
 		return 2
@@ -172,17 +183,21 @@ func run() int {
 			}
 		}
 		reports = power8.RunSuite(suite, m, power8.RunOptions{
-			Quick: *quick, Workers: *workers, Stats: root, Faults: plan,
+			Quick: *quick, Workers: *workers, Stats: root, Faults: plan, Shards: *shards,
 		})
 	case *expID != "":
-		rep, err := power8.RunObserved(*expID, m, *quick, root)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		suite := filterSuite(power8.Experiments(), *expID)
+		if suite == nil {
+			fmt.Fprintf(os.Stderr, "p8repro: unknown experiment %q\n", *expID)
 			return 2
 		}
-		reports = append(reports, rep)
+		reports = power8.RunSuite(suite, m, power8.RunOptions{
+			Quick: *quick, Workers: 1, Stats: root, Shards: *shards,
+		})
 	default:
-		reports = power8.RunAllObserved(m, *quick, *workers, root)
+		reports = power8.RunSuite(power8.Experiments(), m, power8.RunOptions{
+			Quick: *quick, Workers: *workers, Stats: root, Shards: *shards,
+		})
 	}
 	if *timing {
 		fmt.Fprintf(os.Stderr, "p8repro: suite wall-clock %.2fs (parallel=%d)\n",
@@ -219,7 +234,7 @@ func run() int {
 // validateFlags rejects nonsensical flag values and combinations before
 // any work starts, so the user gets one friendly line plus the usage
 // text (exit 2) instead of a mid-run panic.
-func validateFlags(workers, kworkers, grainf int, faults string, faultseed uint64, ablations bool) error {
+func validateFlags(workers, kworkers, grainf, shards int, faults string, faultseed uint64, ablations bool) error {
 	if workers < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", workers)
 	}
@@ -228,6 +243,10 @@ func validateFlags(workers, kworkers, grainf int, faults string, faultseed uint6
 	}
 	if grainf < 0 {
 		return fmt.Errorf("-grainfactor must be >= 0, got %d", grainf)
+	}
+	if spec := power8.E870Spec(); shards != 0 && !machine.ShardCountValid(spec, shards) {
+		return fmt.Errorf("-shards %d does not divide the %d-socket topology (use 0 for auto or a divisor of %d)",
+			shards, spec.Topology.Chips, spec.Topology.Chips)
 	}
 	if faults != "" && faultseed != 0 {
 		return fmt.Errorf("-faults and -faultseed are mutually exclusive; pick one plan source")

@@ -11,10 +11,17 @@
 //	p8sim -chase -ws 33554432               # simulate a pointer chase
 //	p8sim -chase -ws 33554432 -stats        # ...plus the walker's counters
 //	p8sim -random -faults worst-day         # ...against a degraded machine
+//	p8sim -random -stats -shards 8          # sharded DES cross-check
 //
 // -stats prints the simulation counters the queried model paths
 // produced (the -chase walker's per-level hits and misses, the -random
 // DES engine's event and bank figures); see DESIGN.md "Observability".
+//
+// -shards picks the DES shard count for the -random cross-check: 0
+// (default) auto-sizes to the host, 1 forces the sequential merged
+// engine, larger divisors of the socket count run parallel shard
+// workers. Results are bit-identical at every legal value (see
+// DESIGN.md "Sharded DES"); the knob only trades wall time.
 //
 // -faults derives a RAS-degraded machine variant through internal/fault
 // (canned plan name or event grammar) and answers the queries against
@@ -62,6 +69,7 @@ func main() {
 		huge    = flag.Bool("huge", false, "use 16 MiB pages for the chase")
 		stats   = flag.Bool("stats", false, "print simulation counters after the queries")
 		faults  = flag.String("faults", "", "answer against a degraded machine derived through this fault plan")
+		shards  = flag.Int("shards", 0, "DES shard count for the -random cross-check (0 = auto, must divide the socket count)")
 	)
 	flag.Parse()
 
@@ -91,6 +99,9 @@ func main() {
 		fail(fmt.Errorf("-oi must be positive, got %g", *oi))
 	case *doChase && *ws < 128:
 		fail(fmt.Errorf("-ws must cover at least one 128-byte line, got %d", *ws))
+	case *shards != 0 && !machine.ShardCountValid(spec, *shards):
+		fail(fmt.Errorf("-shards %d does not divide the %d-socket topology (use 0 for auto or a divisor of %d)",
+			*shards, spec.Topology.Chips, spec.Topology.Chips))
 	}
 
 	var reg *obs.Registry
@@ -135,7 +146,7 @@ func main() {
 		if reg != nil {
 			// The analytic answer above has no events to count; run the
 			// DES cross-check so the stats show the queueing internals.
-			bw := m.SimulateRandomAccessObs(*threads, *lists, 200_000, reg)
+			bw := m.SimulateRandomAccessSharded(*threads, *lists, 200_000, *shards, reg, nil)
 			fmt.Printf("DES cross-check: %v\n", bw)
 		}
 	}

@@ -57,6 +57,12 @@ type RunOptions struct {
 	// experiments (nil falls back to their canned default). The paper
 	// suite ignores it.
 	Faults *FaultPlan
+	// Shards is the DES shard count for the Figure-4-class simulations:
+	// 0 (the default) auto-picks from GOMAXPROCS, 1 forces the
+	// sequential merged engine, and larger divisors of the socket count
+	// run that many parallel shard workers. Sharding is a wall-time
+	// knob only — every legal value yields bit-identical reports.
+	Shards int
 }
 
 // RunSuite executes a set of experiments against one machine under the
@@ -131,6 +137,7 @@ func runAttempt(e Experiment, m *Machine, opts RunOptions, h *obs.Registry, brok
 		Obs:     scope,
 		Budget:  budget,
 		Faults:  opts.Faults,
+		Shards:  opts.Shards,
 	}, h)
 	if opts.Stats != nil {
 		hs := scope.Child("harness")

@@ -24,7 +24,11 @@ const cancelCheckMask = 1023
 // outside the harness (benchmarks, unit tests, library use) pay only a
 // nil check. A Budget belongs to a single experiment; the charge path
 // is not safe for concurrent use, but Cancel may be called from any
-// goroutine.
+// goroutine. A sharded simulation therefore never charges from its
+// worker goroutines: each shard loop counts events in a plain local,
+// bounded by RoundCap, and the coordinator books the round's sum with
+// ChargeBatch at the barrier — the single trip point, on the one
+// goroutine whose panics the harness's isolation wrapper catches.
 type Budget struct {
 	// spent and limit are plain fields: charges come from the one
 	// goroutine running the experiment's simulations.
@@ -82,6 +86,41 @@ func (b *Budget) Charge(n uint64) {
 	if b.spent&cancelCheckMask < n && b.cancelled.Load() {
 		panic(Trip{Events: b.spent, Cancelled: true})
 	}
+}
+
+// ChargeBatch books one barrier round's worth of shard-loop events.
+// It is Charge with an unconditional cancellation check: barriers are
+// rare (one per lookahead window, not one per event), so the poll is
+// not amortized away, and a cancelled sharded run trips at the next
+// barrier no matter how the round total lands against the mask. The
+// trip arithmetic is identical to Charge's, so a sharded run renders
+// the exact same Trip as the sequential engine. A nil receiver is
+// unlimited.
+func (b *Budget) ChargeBatch(n uint64) {
+	if b == nil {
+		return
+	}
+	b.spent += n
+	if b.limit > 0 && b.spent > b.limit {
+		b.spent = b.limit
+		panic(Trip{Events: b.spent, Limit: b.limit})
+	}
+	if b.cancelled.Load() {
+		panic(Trip{Events: b.spent, Cancelled: true})
+	}
+}
+
+// RoundCap returns how many events one shard loop may execute between
+// barriers before it must stop and let the coordinator's ChargeBatch
+// trip: the remaining allowance plus the one overflowing event (so the
+// barrier charge exceeds the limit exactly as a sequential overrun
+// would). 0 means unlimited (nil or no event limit).
+func (b *Budget) RoundCap() uint64 {
+	if b == nil || b.limit == 0 {
+		return 0
+	}
+	// spent never exceeds limit (Charge/ChargeBatch clamp on trip).
+	return b.limit - b.spent + 1
 }
 
 // Cancel trips the budget from any goroutine: the next polled charge

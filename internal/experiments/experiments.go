@@ -43,6 +43,13 @@ type Context struct {
 	// experiment's default canned plan. The paper-suite experiments
 	// ignore it — they always describe the healthy machine.
 	Faults *fault.Plan
+	// Shards selects the DES shard count for the Figure-4-class
+	// simulations (machine.SimulateRandomAccessSharded): 1 runs the
+	// sequential merged engine, larger divisors of the socket count run
+	// that many parallel shard workers, and 0 (the default) picks
+	// machine.AutoShards. Any legal value produces bit-identical
+	// results — the knob trades wall time, never output.
+	Shards int
 }
 
 // Check is one paper-vs-produced comparison.

@@ -41,12 +41,13 @@ func runFigure4(ctx *Context) *Report {
 	if ctx.Obs != nil {
 		// The curve above is analytic; run the DES cross-check at the
 		// peak configuration so the appendix shows the event engine's
-		// counters (banks, chasers, queue depth, utilization).
+		// counters (banks, chasers, queue depth, utilization, and the
+		// sharded driver's rounds, mailbox traffic and per-shard split).
 		horizon := 200_000.0
 		if ctx.Quick {
 			horizon = 50_000.0
 		}
-		ctx.Machine.SimulateRandomAccessRun(8, 4, horizon, ctx.Obs, ctx.Budget)
+		ctx.Machine.SimulateRandomAccessSharded(8, 4, horizon, ctx.Shards, ctx.Obs, ctx.Budget)
 	}
 	return r
 }

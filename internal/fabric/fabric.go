@@ -141,6 +141,36 @@ func (n *Network) HopLatencyNs(src, dst arch.ChipID) float64 {
 	return base + n.lat.InterGroupSkewNs[dist]
 }
 
+// MinCrossLatencyNs returns the smallest hop latency between any two
+// chips assigned to different shards, given shardOf[chip] = shard
+// index. This is the conservative lookahead bound of the sharded DES:
+// no cross-shard interaction can land sooner than the cheapest link
+// crossing a shard boundary, so events within that window are safe to
+// execute in parallel. The bound is computed per Network — lane
+// sparing derates bandwidth, not latency, so degraded machines keep
+// the healthy bound, but the method goes through HopLatencyNs so any
+// future latency-affecting degradation is picked up automatically.
+// It returns 0 when no chip pair crosses a shard boundary (a single
+// shard), which the engine rejects for parallel runs.
+func (n *Network) MinCrossLatencyNs(shardOf []int) float64 {
+	if len(shardOf) != n.topo.Chips {
+		panic(fmt.Sprintf("fabric: shard map covers %d chips, topology has %d", len(shardOf), n.topo.Chips))
+	}
+	min := 0.0
+	for a := 0; a < n.topo.Chips; a++ {
+		for b := a + 1; b < n.topo.Chips; b++ {
+			if shardOf[a] == shardOf[b] {
+				continue
+			}
+			l := n.HopLatencyNs(arch.ChipID(a), arch.ChipID(b))
+			if min == 0 || l < min {
+				min = l
+			}
+		}
+	}
+	return min
+}
+
 // posDistance is the position distance within a group, used to index the
 // layout skew tables: 1..3 intra-group, 0..3 inter-group (0 = paired).
 func posDistance(t *arch.Topology, a, b arch.ChipID) int {

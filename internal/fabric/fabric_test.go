@@ -165,3 +165,42 @@ func TestHopKindString(t *testing.T) {
 		t.Error("HopKind strings wrong")
 	}
 }
+
+// TestMinCrossLatencyNs pins the sharded-DES lookahead bounds on the
+// E870: socket-granular shards see the cheapest X-bus hop; splitting at
+// the group boundary sees the cheapest A-bus hop (the paired chips).
+func TestMinCrossLatencyNs(t *testing.T) {
+	n := e870Net()
+	shardPer := func(chipsPerShard int) []int {
+		m := make([]int, 8)
+		for c := range m {
+			m[c] = c / chipsPerShard
+		}
+		return m
+	}
+	cases := []struct {
+		chipsPerShard int
+		want          float64
+	}{
+		{1, 28},  // X-bus neighbours cross everywhere
+		{2, 28},  // chips 1 and 2 still cross a boundary inside a group
+		{4, 118}, // group split: only A-bus pairs cross
+	}
+	for _, c := range cases {
+		if got := n.MinCrossLatencyNs(shardPer(c.chipsPerShard)); got != c.want {
+			t.Errorf("%d chips/shard: lookahead %v, want %v", c.chipsPerShard, got, c.want)
+		}
+	}
+	if got := n.MinCrossLatencyNs(shardPer(8)); got != 0 {
+		t.Errorf("single shard: lookahead %v, want 0 (no crossing pairs)", got)
+	}
+}
+
+func TestMinCrossLatencyPanicsOnBadMap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short shard map did not panic")
+		}
+	}()
+	e870Net().MinCrossLatencyNs([]int{0, 1})
+}

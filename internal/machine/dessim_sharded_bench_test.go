@@ -1,0 +1,43 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The BENCH_6.json workload: the full 512-thread E870 (64 cores x
+// SMT8, 4 lists — the Figure 4 peak configuration) against the
+// 64-thread (SMT1) run, on the pooled sequential engine and the
+// sharded engine at every legal worker count. The sharded numbers are
+// what the CI bench-smoke step compares against the sequential
+// baseline; real speedups need real CPUs, so BENCH_6.json records the
+// host's GOMAXPROCS alongside the medians.
+const benchHorizonNs = 50_000
+
+func BenchmarkDESSequential64(b *testing.B) {
+	m := e870()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.SimulateRandomAccess(1, 1, benchHorizonNs)
+	}
+}
+
+func BenchmarkDESSequential512(b *testing.B) {
+	m := e870()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.SimulateRandomAccess(8, 4, benchHorizonNs)
+	}
+}
+
+func BenchmarkDESSharded512(b *testing.B) {
+	m := e870()
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.SimulateRandomAccessSharded(8, 4, benchHorizonNs, shards, nil, nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package machine_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// shardTestMachines is the full identity matrix: both canned system
+// specs healthy, plus the E870 degraded through every canned fault
+// plan (guarded cores shrink chaser pools, lost channels shrink the
+// bank pool, replay storms stretch the transit — each stresses a
+// different input of the sharded model).
+func shardTestMachines(t *testing.T) map[string]*machine.Machine {
+	t.Helper()
+	ms := map[string]*machine.Machine{
+		"e870-healthy":   machine.New(arch.E870()),
+		"maxsmp-healthy": machine.New(arch.MaxPOWER8SMP()),
+	}
+	for _, name := range fault.CannedNames() {
+		plan, err := fault.Canned(name)
+		if err != nil {
+			t.Fatalf("canned plan %q: %v", name, err)
+		}
+		ms["e870-"+name] = plan.Derive(arch.E870())
+	}
+	return ms
+}
+
+// TestShardedDESBitIdentity is the tentpole contract: on every canned
+// machine (healthy and degraded) the sharded driver must reproduce the
+// sequential merged driver bit for bit at every legal shard count.
+func TestShardedDESBitIdentity(t *testing.T) {
+	const horizon = 15_000.0
+	for name, m := range shardTestMachines(t) {
+		ref := m.SimulateRandomAccessSharded(8, 4, horizon, 1, nil, nil)
+		if ref <= 0 {
+			t.Fatalf("%s: sequential reference produced no bandwidth", name)
+		}
+		for _, shards := range []int{2, 4, 8} {
+			got := m.SimulateRandomAccessSharded(8, 4, horizon, shards, nil, nil)
+			if math.Float64bits(float64(got)) != math.Float64bits(float64(ref)) {
+				t.Errorf("%s at %d shards: %v != sequential %v (bit mismatch)", name, shards, got, ref)
+			}
+		}
+	}
+}
+
+// TestShardedDESCountersMatch extends bit-identity to the observable
+// internals: events, scheduled entries, completions and the queue
+// high-water mark must be shard-count-invariant (only the barrier
+// machinery's own counters may differ).
+func TestShardedDESCountersMatch(t *testing.T) {
+	const horizon = 15_000.0
+	m := machine.New(arch.E870())
+	counters := func(shards int) map[string]uint64 {
+		reg := obs.NewRegistry("t")
+		m.SimulateRandomAccessSharded(8, 4, horizon, shards, reg, nil)
+		out := map[string]uint64{}
+		for _, c := range reg.Child("des").Snapshot().Counters {
+			out[c.Name] = c.Value
+		}
+		return out
+	}
+	ref := counters(1)
+	for _, shards := range []int{2, 8} {
+		got := counters(shards)
+		for _, name := range []string{"events", "scheduled", "completions"} {
+			if got[name] != ref[name] {
+				t.Errorf("%d shards: %s = %d, sequential %d", shards, name, got[name], ref[name])
+			}
+		}
+	}
+}
+
+// TestShardedDESSaturates pins the model to the paper: at SMT8 x 4
+// lists the machine is bank-bound, so the socket-resolved model must
+// still deliver the calibrated ~500 GB/s random-access peak even
+// though remote accesses now pay real fabric hops.
+func TestShardedDESSaturates(t *testing.T) {
+	m := machine.New(arch.E870())
+	got := m.SimulateRandomAccessSharded(8, 4, 100_000, 8, nil, nil).GBps()
+	if !stats.Within(got, 500, 0.10) {
+		t.Errorf("sharded DES saturated bandwidth %.1f GB/s, want ~500 within 10%%", got)
+	}
+}
+
+// TestShardedDESDegradedMonotone guards the deg-plan experiment's
+// check: a degraded machine must not outperform the healthy one.
+func TestShardedDESDegradedMonotone(t *testing.T) {
+	healthy := machine.New(arch.E870())
+	plan, err := fault.Canned("worst-day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := plan.Derive(arch.E870())
+	h := healthy.SimulateRandomAccessSharded(8, 4, 50_000, 8, nil, nil).GBps()
+	d := degraded.SimulateRandomAccessSharded(8, 4, 50_000, 8, nil, nil).GBps()
+	if d > h {
+		t.Errorf("degraded %.1f GB/s exceeds healthy %.1f GB/s", d, h)
+	}
+}
+
+func TestShardCountValidation(t *testing.T) {
+	spec := arch.E870()
+	for shards, want := range map[int]bool{
+		-1: false, 0: false, 1: true, 2: true, 3: false,
+		4: true, 5: false, 8: true, 16: false,
+	} {
+		if got := machine.ShardCountValid(spec, shards); got != want {
+			t.Errorf("ShardCountValid(E870, %d) = %v, want %v", shards, got, want)
+		}
+	}
+	for maxWorkers, want := range map[int]int{1: 1, 2: 2, 3: 2, 4: 4, 7: 4, 8: 8, 64: 8} {
+		if got := machine.AutoShards(spec, maxWorkers); got != want {
+			t.Errorf("AutoShards(E870, %d) = %d, want %d", maxWorkers, got, want)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("non-divisor shard count did not panic")
+		}
+	}()
+	machine.New(spec).SimulateRandomAccessSharded(8, 4, 1000, 3, nil, nil)
+}

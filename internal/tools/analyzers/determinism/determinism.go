@@ -3,7 +3,7 @@
 // every run, and EXPERIMENTS.md is committed generated output, so two
 // runs of the same binary must render byte-identical reports.
 //
-// Two rule groups, keyed by package name:
+// Three rule groups, keyed by package name:
 //
 //  1. In the simulation packages (machine, engine, experiments, fault):
 //     no wall-clock reads (time.Now, time.Since, ...) and no math/rand —
@@ -23,6 +23,14 @@
 //     variables, calls, returns, sends — is flagged, because each one
 //     can leak iteration order into reports (last-writer-wins picks,
 //     arbitrary-element returns, emit calls).
+//
+//  3. In the simulation packages: a select over two or more channels is
+//     flagged, because Go resolves multiple ready cases by uniform
+//     random choice — merging shard streams through a select leaks
+//     scheduling order into simulated results. Cross-shard events must
+//     flow through the engine's canonical (time, shard, seq) sorted
+//     merge (engine.ShardedSim); single-case selects, with or without a
+//     default, stay legal as plain non-blocking operations.
 //
 // Deviations are suppressed per line with
 // `//p8:allow determinism: <why>`.
@@ -73,6 +81,10 @@ func run(pass *analysis.Pass) error {
 				if ordered && pass.IsMap(n.X) {
 					checkMapRange(pass, f, n)
 				}
+			case *ast.SelectStmt:
+				if sim {
+					checkSelect(pass, n)
+				}
 			}
 			return true
 		})
@@ -93,6 +105,25 @@ func checkIdent(pass *analysis.Pass, id *ast.Ident) {
 		}
 	case "math/rand", "math/rand/v2":
 		pass.Reportf(id.Pos(), "math/rand in a deterministic package; use the seeded repro/internal/rng")
+	}
+}
+
+// checkSelect flags multi-way selects in simulation packages. When more
+// than one communication case is ready, the runtime picks one uniformly
+// at random, so merging event or message streams through a select lets
+// goroutine scheduling reach simulated results. The sanctioned idiom is
+// the engine's canonical (time, shard, seq) sorted merge; a select with
+// a single communication case (with or without a default) is just a
+// non-blocking operation and stays legal.
+func checkSelect(pass *analysis.Pass, s *ast.SelectStmt) {
+	comm := 0
+	for _, cc := range s.Body.List {
+		if c, ok := cc.(*ast.CommClause); ok && c.Comm != nil {
+			comm++
+		}
+	}
+	if comm >= 2 {
+		pass.Reportf(s.Pos(), "a select over %d channels resolves ready cases in randomized order; merge shard streams with the canonical (time, shard, seq) sorted merge instead", comm)
 	}
 }
 

@@ -1,0 +1,61 @@
+// Package engine is a golden stand-in for repro/internal/engine: the
+// analyzer's select rule guards the shard-merge idiom here. Cross-shard
+// event streams must merge through the canonical (time, shard, seq)
+// sorted order; draining them through a multi-way select would let the
+// runtime's randomized case choice reach simulated results.
+package engine
+
+import "sort"
+
+type mail struct {
+	at  uint64
+	seq uint64
+}
+
+// sortedMerge is the sanctioned idiom: collect every shard's outbox,
+// then order by the canonical (time, seq) key. No select involved.
+func sortedMerge(boxes [][]mail) []mail {
+	var all []mail
+	for _, box := range boxes {
+		all = append(all, box...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return all[i].seq < all[j].seq
+	})
+	return all
+}
+
+// selectMerge is the banned shape: with both channels ready the runtime
+// picks a case uniformly at random, so arrival order — and therefore
+// the simulation's event order — depends on goroutine scheduling.
+func selectMerge(a, b chan mail) mail {
+	select { // want `a select over 2 channels resolves ready cases in randomized order`
+	case m := <-a:
+		return m
+	case m := <-b:
+		return m
+	}
+}
+
+// nonBlocking shows that a single-case select (the try-receive idiom)
+// is just a non-blocking operation and stays legal.
+func nonBlocking(c chan mail) (mail, bool) {
+	select {
+	case m := <-c:
+		return m, true
+	default:
+		return mail{}, false
+	}
+}
+
+// allowedSelect pins the suppression protocol for the select rule.
+func allowedSelect(a, b chan struct{}) {
+	//p8:allow determinism: golden test — both cases are equivalent signals
+	select {
+	case <-a:
+	case <-b:
+	}
+}
