@@ -17,6 +17,8 @@
 //	p8repro -faults guard:0:2    # ... or an explicit event-grammar plan
 //	p8repro -faultseed 7         # ... or a seeded random plan (reproducible)
 //	p8repro -shards 8            # DES simulations on 8 parallel shards
+//	p8repro -cache               # memoize reports and derivations in memory
+//	p8repro -cachedir .p8cache   # ...and persist reports for warm re-runs
 //
 // -shards picks the shard count of the discrete-event simulations (the
 // figure4 and deg-plan DES cross-checks): 0 (the default) auto-sizes to
@@ -25,6 +27,16 @@
 // sequential runs are bit-identical by contract (see DESIGN.md "Sharded
 // DES"); the flag only trades wall time. A count that does not divide
 // the socket topology is rejected up front with exit status 2.
+//
+// -cache turns on content-addressed result memoization (see DESIGN.md
+// "Result memoization"): completed reports and derived fault machines
+// are keyed by canonical fingerprints of everything that determines
+// their content, so repeated runs inside one process reuse them.
+// -cachedir (which implies -cache) additionally persists reports to a
+// content-addressed directory, making a second p8repro invocation warm:
+// it reruns nothing whose inputs are unchanged. FAILED reports are
+// never cached, and -stats bypasses report reuse so counters always
+// describe the execution that actually happened.
 //
 // -faults and -faultseed switch to the degradation suite: bandwidth-vs-
 // fault sweeps and a healthy-vs-degraded comparison on a machine derived
@@ -86,6 +98,8 @@ func run() int {
 		faults     = flag.String("faults", "", "run the degradation suite under this fault plan (canned name or event grammar)")
 		faultseed  = flag.Uint64("faultseed", 0, "run the degradation suite under a random fault plan derived from this seed (0 = off)")
 		shards     = flag.Int("shards", 0, "DES shard count for the simulated experiments (0 = auto, must divide the socket count)")
+		useCache   = flag.Bool("cache", false, "memoize reports and fault derivations in memory")
+		cacheDir   = flag.String("cachedir", "", "persist cached reports to this directory for warm re-runs (implies -cache)")
 	)
 	flag.Parse()
 
@@ -120,6 +134,17 @@ func run() int {
 					fmt.Fprintln(os.Stderr, "p8repro: stats server:", err)
 				}
 			}()
+		}
+	}
+	// The cache is built after the registry so its hit/miss counters land
+	// under the observed run's root. With -stats, report reuse is
+	// bypassed by the harness; the derivation memoizer still works.
+	var cache *power8.SuiteCache
+	if *useCache || *cacheDir != "" {
+		var err error
+		if cache, err = power8.NewSuiteCache(power8.CacheOptions{Dir: *cacheDir}, root); err != nil {
+			fmt.Fprintln(os.Stderr, "p8repro:", err)
+			return 2
 		}
 	}
 
@@ -183,7 +208,7 @@ func run() int {
 			}
 		}
 		reports = power8.RunSuite(suite, m, power8.RunOptions{
-			Quick: *quick, Workers: *workers, Stats: root, Faults: plan, Shards: *shards,
+			Quick: *quick, Workers: *workers, Stats: root, Faults: plan, Shards: *shards, Cache: cache,
 		})
 	case *expID != "":
 		suite := filterSuite(power8.Experiments(), *expID)
@@ -192,11 +217,11 @@ func run() int {
 			return 2
 		}
 		reports = power8.RunSuite(suite, m, power8.RunOptions{
-			Quick: *quick, Workers: 1, Stats: root, Shards: *shards,
+			Quick: *quick, Workers: 1, Stats: root, Shards: *shards, Cache: cache,
 		})
 	default:
 		reports = power8.RunSuite(power8.Experiments(), m, power8.RunOptions{
-			Quick: *quick, Workers: *workers, Stats: root, Shards: *shards,
+			Quick: *quick, Workers: *workers, Stats: root, Shards: *shards, Cache: cache,
 		})
 	}
 	if *timing {
@@ -332,22 +357,24 @@ func printSnapshotText(s power8.StatsSnapshot, prefix string) {
 }
 
 // printSharedStats renders the process-wide scopes of an observed run —
-// today the kernel runtime's shared worker teams, which outlive any one
-// experiment and therefore cannot appear in per-experiment appendices.
+// the kernel runtime's shared worker teams and the result caches, which
+// outlive any one experiment and therefore cannot appear in
+// per-experiment appendices.
 func printSharedStats(root *power8.StatsRegistry, markdown bool) {
-	s := root.Child("parallel").Snapshot()
-	if s.Empty() {
-		return
+	scopes := []string{"parallel", "memo"}
+	for _, name := range scopes {
+		s := root.Child(name).Snapshot()
+		if s.Empty() {
+			continue
+		}
+		if markdown {
+			fmt.Printf("\n## %s counters (process-wide)\n\n", name)
+			obs.WriteMarkdown(os.Stdout, s)
+			continue
+		}
+		fmt.Printf("\n=== %s counters (process-wide) ===\n", name)
+		printSnapshotText(s, name+"/")
 	}
-	if markdown {
-		fmt.Printf("\n## Runtime counters (process-wide)\n\n")
-		fmt.Println("Shared kernel-runtime teams, aggregated over the whole run:")
-		fmt.Println()
-		obs.WriteMarkdown(os.Stdout, s)
-		return
-	}
-	fmt.Println("\n=== runtime counters (process-wide) ===")
-	printSnapshotText(s, "parallel/")
 }
 
 func printMarkdown(rep *power8.Report) {

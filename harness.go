@@ -63,6 +63,15 @@ type RunOptions struct {
 	// run that many parallel shard workers. Sharding is a wall-time
 	// knob only — every legal value yields bit-identical reports.
 	Shards int
+	// Cache, when non-nil, memoizes the run: completed reports are
+	// served from (and stored into) the content-addressed result cache,
+	// and fault-plan derivation inside the deg-* experiments is
+	// deduplicated and reused. FAILED reports are never stored. Report
+	// caching is bypassed when Stats is non-nil — counters describe the
+	// execution that actually happened — but derivation memoization
+	// stays on. Like Shards, the cache is a wall-time knob only: warm
+	// and cold runs return the same bits.
+	Cache *SuiteCache
 }
 
 // RunSuite executes a set of experiments against one machine under the
@@ -90,10 +99,21 @@ func RunSuite(suite []Experiment, m *Machine, opts RunOptions) []*Report {
 	})
 }
 
-// runHardened is one experiment's attempt loop: run, and for retryable
+// runHardened serves one experiment through the result cache when one
+// is configured (and the run is uninstrumented), falling back to the
+// attempt loop on a miss; without a cache it is the attempt loop.
+func runHardened(e Experiment, m *Machine, opts RunOptions, h *obs.Registry, broker *cancelBroker, recordAllocs bool) *Report {
+	run := func() *Report { return runAttempts(e, m, opts, h, broker, recordAllocs) }
+	if opts.Cache == nil || opts.Stats != nil {
+		return run()
+	}
+	return opts.Cache.lookupOrRun(e, m, opts, run)
+}
+
+// runAttempts is one experiment's attempt loop: run, and for retryable
 // experiments re-run failures up to the retry bound with doubling
 // backoff.
-func runHardened(e Experiment, m *Machine, opts RunOptions, h *obs.Registry, broker *cancelBroker, recordAllocs bool) *Report {
+func runAttempts(e Experiment, m *Machine, opts RunOptions, h *obs.Registry, broker *cancelBroker, recordAllocs bool) *Report {
 	attempts := 1
 	if e.Retryable && opts.Retries > 0 {
 		attempts += opts.Retries
@@ -138,6 +158,7 @@ func runAttempt(e Experiment, m *Machine, opts RunOptions, h *obs.Registry, brok
 		Budget:  budget,
 		Faults:  opts.Faults,
 		Shards:  opts.Shards,
+		Deriver: opts.Cache.Deriver(),
 	}, h)
 	if opts.Stats != nil {
 		hs := scope.Child("harness")

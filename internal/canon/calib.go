@@ -1,0 +1,49 @@
+package canon
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/memsys"
+)
+
+// FabricCalibration fingerprints the fabric efficiency profile.
+func FabricCalibration(c fabric.Calibration) Fingerprint {
+	h := NewHasher("canon/fabric-calib/v1")
+	AppendFabricCalibration(h, c)
+	return h.Sum()
+}
+
+// AppendFabricCalibration encodes the profile into an ongoing hash.
+func AppendFabricCalibration(h *Hasher, c fabric.Calibration) {
+	h.Section("fabric-calib")
+	h.F64(c.UniEfficiency)
+	h.F64(c.SatEfficiency)
+	h.F64(c.BiDirFactor)
+	h.F64(c.InterGroupRouteCapGBs)
+	h.F64(c.ChipInterleavedAbsorbGBs)
+}
+
+// MemsysCalibration fingerprints the memory-model constants, including
+// the read:write efficiency curve's breakpoints.
+func MemsysCalibration(c memsys.Calibration) Fingerprint {
+	h := NewHasher("canon/memsys-calib/v1")
+	AppendMemsysCalibration(h, c)
+	return h.Sum()
+}
+
+// AppendMemsysCalibration encodes the constants into an ongoing hash.
+func AppendMemsysCalibration(h *Hasher, c memsys.Calibration) {
+	h.Section("memsys-calib")
+	if c.RWEfficiency == nil {
+		h.Bool(false)
+	} else {
+		h.Bool(true)
+		xs, ys := c.RWEfficiency.Points()
+		h.F64s(xs)
+		h.F64s(ys)
+	}
+	h.F64(c.PerThreadStreamGBs)
+	h.F64(c.CoreStreamCapGBs)
+	h.F64(c.RandomBaseLatencyNs)
+	h.F64(c.RandomQueueNsPerLine)
+	h.F64(c.RandomPeakFraction)
+}

@@ -24,11 +24,12 @@ func DegradationSuite() []Experiment {
 	}
 }
 
-// derive applies a single-event plan to the context's machine spec.
+// derive applies a single-event plan to the context's machine spec,
+// through the context's memoizing deriver when one is configured.
 func derive(ctx *Context, name string, e fault.Event) *machine.Machine {
 	p := &fault.Plan{Name: name, Events: []fault.Event{e}}
 	p.Publish(ctx.Obs)
-	return p.Derive(ctx.Machine.Spec)
+	return ctx.Derive(p)
 }
 
 // checkCurve records that a bandwidth-vs-fault curve starts at the
@@ -172,7 +173,7 @@ func runDegPlan(ctx *Context) *Report {
 	}
 	plan.Publish(ctx.Obs)
 	healthy := ctx.Machine
-	degraded := plan.Derive(healthy.Spec)
+	degraded := ctx.Derive(plan)
 
 	r.Printf("plan %q (%d events):", plan.Name, len(plan.Events))
 	for _, line := range plan.Summary() {

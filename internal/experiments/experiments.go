@@ -50,6 +50,22 @@ type Context struct {
 	// machine.AutoShards. Any legal value produces bit-identical
 	// results — the knob trades wall time, never output.
 	Shards int
+	// Deriver, when non-nil, memoizes fault-plan derivation: the deg-*
+	// experiments repeatedly derive the same degraded machines (within
+	// a suite and across warm suite runs), and derivation is a pure
+	// function of (plan, spec, calibration), so identical requests
+	// share one frozen Machine. Nil derives directly. Like Shards this
+	// is a wall-time knob only: a memoized and a direct derivation are
+	// the same bits.
+	Deriver *fault.Deriver
+}
+
+// Derive builds the degraded machine for a plan against this context's
+// machine — through the memoizing deriver when one is configured, with
+// the machine's own calibration profiles either way.
+func (ctx *Context) Derive(p *fault.Plan) *machine.Machine {
+	m := ctx.Machine
+	return ctx.Deriver.DeriveWithCalibration(p, m.Spec, m.Net.Calibration(), m.Mem.Calibration())
 }
 
 // Check is one paper-vs-produced comparison.

@@ -102,6 +102,10 @@ func NewDegraded(topo *arch.Topology, lat arch.UncoreLatency, calib Calibration,
 // Degradation returns the lane-sparing overlay (nil when healthy).
 func (n *Network) Degradation() *Degradation { return n.deg }
 
+// Calibration returns the fitted efficiency profile the network was
+// built with (internal/canon hashes it into machine fingerprints).
+func (n *Network) Calibration() Calibration { return n.calib }
+
 // Topology exposes the underlying wiring.
 func (n *Network) Topology() *arch.Topology { return n.topo }
 

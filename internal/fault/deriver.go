@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/canon"
+	"repro/internal/fabric"
+	"repro/internal/machine"
+	"repro/internal/memo"
+	"repro/internal/memsys"
+	"repro/internal/obs"
+)
+
+// AppendCanon encodes the plan canonically into an ongoing hash: name,
+// seed and every event with all fields in declaration order. Events
+// hash in plan order — two plans with the same events in a different
+// order are different plans (lane-sparing composes multiplicatively,
+// but the derived spec's name records the order).
+func (p *Plan) AppendCanon(h *canon.Hasher) {
+	h.Section("fault-plan")
+	if p == nil {
+		h.Int(-1)
+		return
+	}
+	h.Str(p.Name)
+	h.U64(p.Seed)
+	h.Int(len(p.Events))
+	for _, e := range p.Events {
+		h.Int(int(e.Kind))
+		h.Int(int(e.A))
+		h.Int(int(e.B))
+		h.Int(int(e.Chip))
+		h.Int(e.N)
+		h.F64(e.Factor)
+		h.F64(e.Read)
+		h.F64(e.Write)
+		h.F64(e.ReplayNs)
+	}
+}
+
+// Fingerprint returns the plan's canonical content address. A nil plan
+// and an empty plan fingerprint differently from each other and from
+// any non-trivial plan.
+func (p *Plan) Fingerprint() canon.Fingerprint {
+	h := canon.NewHasher("canon/fault-plan/v1")
+	p.AppendCanon(h)
+	return h.Sum()
+}
+
+// Deriver memoizes plan derivation: Derive is a pure function of
+// (plan, spec, calibrations) and a derived Machine is frozen after
+// construction, so one derived machine can serve every experiment and
+// every suite run that asks for the same degradation — concurrently,
+// by the Machine read-only contract that p8lint's frozenmachine pass
+// enforces. Under the parallel harness the deg-* experiments race to
+// derive identical machines; the cache's singleflight runs that
+// derivation once and the rest share it.
+//
+// A nil *Deriver derives directly (no cache), so callers thread it
+// through unconditionally.
+type Deriver struct {
+	cache *memo.Cache
+
+	// specs and calibs intern input fingerprints: a SystemSpec is
+	// read-only after construction (the same contract that freezes
+	// Machines) and calibration profiles are value types, so one
+	// hashing pass per distinct spec object / calibration pair suffices
+	// — without it the per-call hash of the full inputs costs more than
+	// a small derivation itself. Both maps are bounded by the number of
+	// distinct inputs a process derives against (normally one each).
+	mu     sync.Mutex
+	specs  map[*arch.SystemSpec]canon.Fingerprint
+	calibs map[calibPair]canon.Fingerprint
+}
+
+// calibPair keys the calibration intern map; both profiles are small
+// comparable values (the memsys curve compares by pointer, which is
+// exactly the sharing the E870Calibration constructor provides).
+type calibPair struct {
+	fc fabric.Calibration
+	mc memsys.Calibration
+}
+
+// NewDeriver builds a deriver with a byte budget for retained machines
+// (<= 0 keeps every derivation; a derived E870 costs a few KiB). reg,
+// when non-nil, receives hit/miss/eviction counters under
+// "memo/derive".
+func NewDeriver(maxBytes int64, reg *obs.Registry) *Deriver {
+	return &Deriver{
+		cache:  memo.New("derive", maxBytes, reg),
+		specs:  map[*arch.SystemSpec]canon.Fingerprint{},
+		calibs: map[calibPair]canon.Fingerprint{},
+	}
+}
+
+// internCap bounds the intern maps: callers that mint fresh spec or
+// curve objects per call would otherwise grow them without limit. Past
+// the cap the fingerprint is computed but not retained.
+const internCap = 64
+
+// specFp returns the interned fingerprint of a spec, hashing it at
+// most once per distinct pointer.
+func (d *Deriver) specFp(spec *arch.SystemSpec) canon.Fingerprint {
+	d.mu.Lock()
+	fp, ok := d.specs[spec]
+	d.mu.Unlock()
+	if ok {
+		return fp
+	}
+	fp = canon.Spec(spec)
+	d.mu.Lock()
+	if len(d.specs) < internCap {
+		d.specs[spec] = fp
+	}
+	d.mu.Unlock()
+	return fp
+}
+
+// calibFp returns the interned fingerprint of a calibration pair.
+func (d *Deriver) calibFp(fc fabric.Calibration, mc memsys.Calibration) canon.Fingerprint {
+	key := calibPair{fc: fc, mc: mc}
+	d.mu.Lock()
+	fp, ok := d.calibs[key]
+	d.mu.Unlock()
+	if ok {
+		return fp
+	}
+	h := canon.NewHasher("canon/calib-pair/v1")
+	canon.AppendFabricCalibration(h, fc)
+	canon.AppendMemsysCalibration(h, mc)
+	fp = h.Sum()
+	d.mu.Lock()
+	if len(d.calibs) < internCap {
+		d.calibs[key] = fp
+	}
+	d.mu.Unlock()
+	return fp
+}
+
+// Cache exposes the underlying memo cache (stats and tests).
+func (d *Deriver) Cache() *memo.Cache {
+	if d == nil {
+		return nil
+	}
+	return d.cache
+}
+
+// e870Calibs shares one calibration pair across all Derive calls: the
+// memsys curve compares by pointer, so a stable pointer is what lets
+// the deriver's calibration interning hit (fresh constructor calls
+// would allocate a new curve every time).
+var e870Calibs = sync.OnceValues(func() (fabric.Calibration, memsys.Calibration) {
+	return fabric.E870Calibration(), memsys.E870Calibration()
+})
+
+// Derive is the memoized Plan.Derive: the E870-fitted calibrations.
+func (d *Deriver) Derive(p *Plan, spec *arch.SystemSpec) *machine.Machine {
+	fc, mc := e870Calibs()
+	return d.DeriveWithCalibration(p, spec, fc, mc)
+}
+
+// DeriveWithCalibration is the memoized Plan.DeriveWithCalibration.
+// Like it, it panics on an invalid plan (CLIs validate first).
+func (d *Deriver) DeriveWithCalibration(p *Plan, spec *arch.SystemSpec, fc fabric.Calibration, mc memsys.Calibration) *machine.Machine {
+	if d == nil || d.cache == nil {
+		return p.DeriveWithCalibration(spec, fc, mc)
+	}
+	h := canon.NewHasher("canon/derive/v1")
+	p.AppendCanon(h)
+	h.Fp(d.specFp(spec))
+	h.Fp(d.calibFp(fc, mc))
+	v, _, err := d.cache.Do(h.Sum(), func() (memo.Result, error) {
+		m := p.DeriveWithCalibration(spec, fc, mc)
+		return memo.Result{V: m, Cost: machineCost(spec), Store: true}, nil
+	})
+	if err != nil {
+		// Do never invents errors and this compute returns none;
+		// derivation failures arrive as panics and pass through.
+		panic(err)
+	}
+	return v.(*machine.Machine)
+}
+
+// machineCost estimates the resident bytes of a derived Machine for
+// the cache budget: the spec clone, the topology share it references,
+// the overlay maps and the two model shells. It only needs to be the
+// right order of magnitude — the budget bounds memory growth, it is
+// not an allocator.
+func machineCost(spec *arch.SystemSpec) int64 {
+	const (
+		specBytes    = 2048 // SystemSpec value + guard map + name
+		overlayBytes = 1024 // fabric/memsys overlays + model shells
+		perLink      = 64
+		perChip      = 32
+	)
+	return specBytes + overlayBytes +
+		int64(len(spec.Topology.Links()))*perLink +
+		int64(spec.Topology.Chips)*perChip
+}

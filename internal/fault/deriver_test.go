@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/canon"
+	"repro/internal/obs"
+)
+
+func testPlan() *Plan {
+	return &Plan{Name: "t", Events: []Event{
+		{Kind: SpareXLanes, A: 0, B: 1, Factor: 0.5},
+		{Kind: GuardCores, Chip: 0, N: 2},
+	}}
+}
+
+// TestDeriverMatchesDirect: the memoized path must produce a machine
+// that fingerprints identically to a direct derivation — the cache is a
+// wall-time knob, never a semantic one.
+func TestDeriverMatchesDirect(t *testing.T) {
+	spec := arch.E870()
+	plan := testPlan()
+	direct := plan.Derive(spec)
+	memoized := NewDeriver(0, nil).Derive(plan, spec)
+	if canon.Machine(direct) != canon.Machine(memoized) {
+		t.Fatal("memoized derivation fingerprints differently from direct")
+	}
+}
+
+// TestDeriverReuses: equal plans share one derived machine (pointer
+// identity — safe by the Machine read-only contract), distinct plans do
+// not.
+func TestDeriverReuses(t *testing.T) {
+	spec := arch.E870()
+	d := NewDeriver(0, nil)
+	a := d.Derive(testPlan(), spec)
+	b := d.Derive(testPlan(), spec)
+	if a != b {
+		t.Fatal("equal plans derived twice")
+	}
+	other := testPlan()
+	other.Events[0].Factor = 0.75
+	if d.Derive(other, spec) == a {
+		t.Fatal("different plans shared a cached machine")
+	}
+}
+
+// TestDeriverConcurrent: racing derivations of one plan collapse to a
+// single machine via singleflight.
+func TestDeriverConcurrent(t *testing.T) {
+	spec := arch.E870()
+	reg := obs.NewRegistry("test")
+	d := NewDeriver(0, reg)
+	const n = 8
+	machines := make([]*arch.SystemSpec, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			machines[i] = d.Derive(testPlan(), spec).Spec
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if machines[i] != machines[0] {
+			t.Fatal("concurrent derivations did not share one machine")
+		}
+	}
+	var misses uint64
+	for _, c := range reg.Child("memo").Child("derive").Snapshot().Counters {
+		if c.Name == "misses" {
+			misses = c.Value
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d derive misses for one plan, want 1", misses)
+	}
+}
+
+// TestNilDeriver: a nil deriver is the documented no-cache path.
+func TestNilDeriver(t *testing.T) {
+	var d *Deriver
+	m := d.Derive(testPlan(), arch.E870())
+	if m == nil {
+		t.Fatal("nil deriver returned nil machine")
+	}
+	if d.Cache() != nil {
+		t.Fatal("nil deriver has a cache")
+	}
+}
+
+// TestPlanFingerprint: nil, empty and populated plans hash apart, and
+// event order matters (lane sparing composes, but the plan identity is
+// ordered by contract).
+func TestPlanFingerprint(t *testing.T) {
+	var nilPlan *Plan
+	empty := &Plan{}
+	if nilPlan.Fingerprint() == empty.Fingerprint() {
+		t.Error("nil and empty plans fingerprint alike")
+	}
+	a := &Plan{Events: []Event{{Kind: GuardCores, Chip: 0, N: 1}, {Kind: LoseChannels, Chip: 1, N: 1}}}
+	b := &Plan{Events: []Event{{Kind: LoseChannels, Chip: 1, N: 1}, {Kind: GuardCores, Chip: 0, N: 1}}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("event order is not part of the plan fingerprint")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Error("plan fingerprint unstable")
+	}
+}

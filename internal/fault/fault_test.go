@@ -102,11 +102,11 @@ func TestCannedPlansNeverAlias(t *testing.T) {
 func TestValidateRejectsBadEvents(t *testing.T) {
 	spec := arch.E870()
 	for _, bad := range []string{
-		"xlane:0-99:0.5",   // chip out of range
-		"xlane:0-4:0.5",    // A-bus pair named as X-bus
-		"alane:0-1:0.5",    // X-bus pair named as A-bus
-		"guard:0:8",        // guards every core
-		"channel:0:8",      // loses every channel
+		"xlane:0-99:0.5",      // chip out of range
+		"xlane:0-4:0.5",       // A-bus pair named as X-bus
+		"alane:0-1:0.5",       // X-bus pair named as A-bus
+		"guard:0:8",           // guards every core
+		"channel:0:8",         // loses every channel
 		"guard:0:4,guard:0:4", // cumulative guard leaves none
 	} {
 		p, err := Parse(bad)

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the plan grammar: any input either fails cleanly or
+// yields a plan whose rendered form re-parses to the same plan
+// (Parse → String → Parse is the identity on the grammar's image). The
+// seed corpus covers every event kind, plan composition, the canned
+// names and a spread of near-miss syntax.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"worst-day",
+		"xlane:0-1:0.5",
+		"alane:0-4:0.75",
+		"centaur:0.9:0.8:10",
+		"guard:0:2",
+		"channel:1:1",
+		"xlane:0-1:0.5,guard:0:2,channel:1:1,centaur:1:1:5",
+		" guard:0:1 , channel:7:2 ",
+		"xlane:0-1:0.3333333333333333",
+		// near-misses: unknown kind, missing fields, bad numbers
+		"xlane:0-1",
+		"guard:zero:1",
+		"centaur:1:1",
+		"lanes:0-1:0.5",
+		"xlane:01:0.5",
+		"guard:0:2,",
+		":::",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return // rejected cleanly; nothing more to hold
+		}
+		if p == nil {
+			t.Fatalf("Parse(%q) returned nil plan without error", s)
+		}
+		text := p.String()
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted but its rendering %q does not re-parse: %v", s, text, err)
+		}
+		if got := p2.String(); got != text {
+			t.Fatalf("round-trip not a fixed point: %q -> %q -> %q", s, text, got)
+		}
+		if len(p2.Events) != len(p.Events) {
+			t.Fatalf("round-trip changed event count: %d -> %d", len(p.Events), len(p2.Events))
+		}
+		for i := range p.Events {
+			// Compare through the grammar, not struct equality: NaN
+			// factors (the grammar accepts them) break ==, but their
+			// rendering is stable.
+			if p.Events[i].String() != p2.Events[i].String() {
+				t.Fatalf("event %d changed across round-trip: %q -> %q",
+					i, p.Events[i].String(), p2.Events[i].String())
+			}
+			if p.Events[i].Kind != p2.Events[i].Kind {
+				t.Fatalf("event %d kind changed across round-trip", i)
+			}
+		}
+	})
+}
+
+// TestParseRoundTripCanned pins the round-trip identity on every canned
+// plan: their event lists survive rendering and re-parsing, and the
+// re-parsed plan fingerprints its events identically (names differ: a
+// re-parsed plan is named by its grammar string).
+func TestParseRoundTripCanned(t *testing.T) {
+	for _, name := range CannedNames() {
+		p, err := Canned(name)
+		if err != nil {
+			t.Fatalf("Canned(%q): %v", name, err)
+		}
+		text := p.String()
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canned plan %q renders to %q which does not parse: %v", name, text, err)
+		}
+		if p2.String() != text {
+			t.Fatalf("canned plan %q round-trip drifted: %q -> %q", name, text, p2.String())
+		}
+		// Same events => same event encoding; only Name/Seed may differ.
+		a := &Plan{Events: p.Events}
+		b := &Plan{Events: p2.Events}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("canned plan %q events changed across round-trip", name)
+		}
+	}
+}
+
+// TestParseRejections pins a few diagnostics so grammar errors stay
+// actionable.
+func TestParseRejections(t *testing.T) {
+	for _, tc := range []struct{ in, wantSub string }{
+		{"xlane:0-1", "want xlane:<chipA>-<chipB>:<factor>"},
+		{"guard:zero:1", "not a number"},
+		{"warp:0:1", "unknown kind"},
+		{"xlane:0:0.5", "chip pair"},
+	} {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error %q missing %q", tc.in, err, tc.wantSub)
+		}
+	}
+}

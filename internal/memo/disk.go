@@ -1,0 +1,145 @@
+package memo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/canon"
+)
+
+// diskStore is a content-addressed directory of results: each entry is
+// a file named by the full hex fingerprint, written atomically
+// (temp-then-rename) so a crashed or concurrent writer can never leave
+// a half-written entry under a final name. Two processes (or two
+// caches) sharing a directory race only on renames of identical
+// content — keys are content addresses — so the last rename winning is
+// harmless.
+type diskStore struct {
+	dir string
+}
+
+// SetDir enables the on-disk store under dir, creating it if needed.
+// Only byte-valued entries (DoBytes) touch the disk; opaque in-memory
+// values (Do) stay memory-only.
+func (c *Cache) SetDir(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("memo: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("memo: cache directory: %w", err)
+	}
+	c.disk = &diskStore{dir: dir}
+	return nil
+}
+
+// Dir returns the on-disk store's directory ("" when memory-only).
+func (c *Cache) Dir() string {
+	if c.disk == nil {
+		return ""
+	}
+	return c.disk.dir
+}
+
+// DoBytes is Do for serialized results, with the on-disk store in the
+// lookup path: memory LRU, then disk (when enabled), then compute. A
+// disk hit is promoted into the memory LRU; a computed storable result
+// is written back to disk. The disk is best-effort — read and write
+// failures count in the stats and fall through to compute.
+//
+// check, when non-nil, validates bytes read from disk before they are
+// trusted: a corrupted or truncated entry (the store is plain files;
+// anything can happen to them) counts as a disk error, is deleted so
+// it cannot shadow the recomputation forever, and falls through to
+// compute. In-memory and just-computed bytes are not re-checked — the
+// process that produced them validated them by construction.
+func (c *Cache) DoBytes(key canon.Fingerprint, check func([]byte) error, compute func() ([]byte, bool, error)) ([]byte, bool, error) {
+	v, hit, err := c.Do(key, func() (Result, error) {
+		if data, ok := c.diskRead(key, check); ok {
+			return Result{V: data, Cost: int64(len(data)), Store: true}, nil
+		}
+		data, store, err := compute()
+		if err != nil {
+			return Result{}, err
+		}
+		if store {
+			c.diskWrite(key, data)
+		}
+		return Result{V: data, Cost: int64(len(data)), Store: store}, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.([]byte), hit, nil
+}
+
+// path returns the final file name of a key.
+func (d *diskStore) path(key canon.Fingerprint) string {
+	return filepath.Join(d.dir, key.String())
+}
+
+// diskRead fetches an entry from the store; ok is false when the store
+// is disabled, the entry is absent, the read fails, or check rejects
+// the content (in which case the entry is removed).
+func (c *Cache) diskRead(key canon.Fingerprint, check func([]byte) error) (data []byte, ok bool) {
+	if c.disk == nil {
+		return nil, false
+	}
+	start := time.Now() //p8:allow determinism: disk I/O timing is harness instrumentation, never simulated state
+	data, err := os.ReadFile(c.disk.path(key))
+	c.scope.Distribution("disk_read_ns").Observe(time.Since(start).Nanoseconds()) //p8:allow determinism: disk I/O timing is harness instrumentation, never simulated state
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.scope.Counter("disk_errors").Inc()
+		}
+		return nil, false
+	}
+	if check != nil {
+		if err := check(data); err != nil {
+			c.scope.Counter("disk_errors").Inc()
+			os.Remove(c.disk.path(key))
+			return nil, false
+		}
+	}
+	c.scope.Counter("disk_hits").Inc()
+	return data, true
+}
+
+// diskWrite stores an entry atomically: write a private temp file in
+// the same directory, then rename it over the final fingerprint name.
+func (c *Cache) diskWrite(key canon.Fingerprint, data []byte) {
+	if c.disk == nil {
+		return
+	}
+	start := time.Now() //p8:allow determinism: disk I/O timing is harness instrumentation, never simulated state
+	err := c.disk.write(key, data)
+	c.scope.Distribution("disk_write_ns").Observe(time.Since(start).Nanoseconds()) //p8:allow determinism: disk I/O timing is harness instrumentation, never simulated state
+	if err != nil {
+		c.scope.Counter("disk_errors").Inc()
+		return
+	}
+	c.scope.Counter("disk_writes").Inc()
+}
+
+func (d *diskStore) write(key canon.Fingerprint, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, d.path(key)); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

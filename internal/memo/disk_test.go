@@ -1,0 +1,173 @@
+package memo
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func computeBytes(data []byte, store bool, calls *atomic.Int64) func() ([]byte, bool, error) {
+	return func() ([]byte, bool, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		return data, store, nil
+	}
+}
+
+// TestDiskRoundTrip: a second cache over the same directory — a fresh
+// process in miniature — must serve the first cache's results without
+// recomputing.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cold := New("t", 0, nil)
+	if err := cold.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	payload := []byte(`{"report":"table3"}`)
+	data, hit, err := cold.DoBytes(key(1), nil, computeBytes(payload, true, &calls))
+	if err != nil || hit || !bytes.Equal(data, payload) {
+		t.Fatalf("cold DoBytes = (%q, %v, %v)", data, hit, err)
+	}
+
+	// The entry landed under its full fingerprint hex, no temp litter.
+	if _, err := os.Stat(filepath.Join(dir, key(1).String())); err != nil {
+		t.Fatalf("no content-addressed file for key: %v", err)
+	}
+	glob, _ := filepath.Glob(filepath.Join(dir, "tmp-*"))
+	if len(glob) != 0 {
+		t.Fatalf("temp files left behind: %v", glob)
+	}
+
+	warm := New("t", 0, nil)
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, hit, err = warm.DoBytes(key(1), nil, computeBytes(nil, true, &calls))
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("warm DoBytes = (%q, %v, %v)", data, hit, err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times across cold+warm caches, want 1", calls.Load())
+	}
+	// A disk-promoted entry is a memory hit afterwards.
+	if _, hit, _ := warm.DoBytes(key(1), nil, computeBytes(nil, true, nil)); !hit {
+		t.Error("disk-promoted entry did not become a memory hit")
+	}
+}
+
+// TestDiskCorruptEntry: a failed validation deletes the entry and falls
+// back to compute, so corruption cannot permanently shadow results.
+func TestDiskCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c := New("t", 0, nil)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key(9).String())
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	check := func(p []byte) error {
+		if !bytes.HasPrefix(p, []byte("{")) {
+			return errors.New("corrupt")
+		}
+		return nil
+	}
+	var calls atomic.Int64
+	data, _, err := c.DoBytes(key(9), check, computeBytes([]byte("{}"), true, &calls))
+	if err != nil || string(data) != "{}" || calls.Load() != 1 {
+		t.Fatalf("corrupt entry did not fall through to compute: (%q, %v, %d calls)", data, err, calls.Load())
+	}
+	// The rewrite replaced the corrupt file with the good bytes.
+	onDisk, err := os.ReadFile(path)
+	if err != nil || string(onDisk) != "{}" {
+		t.Fatalf("corrupt entry not replaced on disk: (%q, %v)", onDisk, err)
+	}
+}
+
+// TestDiskNonStorableNotWritten: Store=false results must not persist.
+func TestDiskNonStorableNotWritten(t *testing.T) {
+	dir := t.TempDir()
+	c := New("t", 0, nil)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.DoBytes(key(2), nil, computeBytes([]byte("failed"), false, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key(2).String())); !os.IsNotExist(err) {
+		t.Fatal("non-storable result was written to disk")
+	}
+}
+
+func TestSetDirRejectsEmpty(t *testing.T) {
+	c := New("t", 0, nil)
+	if err := c.SetDir(""); err == nil {
+		t.Fatal("SetDir(\"\") succeeded")
+	}
+	if c.Dir() != "" {
+		t.Fatal("Dir() non-empty on a memory-only cache")
+	}
+}
+
+func TestSetDirCreates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	c := New("t", 0, nil)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if c.Dir() != dir {
+		t.Fatalf("Dir() = %q, want %q", c.Dir(), dir)
+	}
+	info, err := os.Stat(dir)
+	if err != nil || !info.IsDir() {
+		t.Fatalf("cache directory not created: %v", err)
+	}
+}
+
+// TestDiskSharedDirectory: many keys, two caches, interleaved — the
+// content-addressed naming keeps them from ever conflicting.
+func TestDiskSharedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	a := New("a", 0, nil)
+	b := New("b", 0, nil)
+	for _, c := range []*Cache{a, b} {
+		if err := c.SetDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 8; i++ {
+		payload := []byte(fmt.Sprintf(`{"i":%d}`, i))
+		if _, _, err := a.DoBytes(key(i), nil, computeBytes(payload, true, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 8; i++ {
+		want := fmt.Sprintf(`{"i":%d}`, i)
+		data, _, err := b.DoBytes(key(i), nil, func() ([]byte, bool, error) {
+			return nil, false, errors.New("should have been served from disk")
+		})
+		if err != nil || string(data) != want {
+			t.Fatalf("key %d: (%q, %v), want %q from disk", i, data, err, want)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 {
+		t.Fatalf("%d files in shared dir, want 8", len(entries))
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			t.Errorf("temp litter: %s", e.Name())
+		}
+	}
+}

@@ -79,6 +79,12 @@ func SetDefaultWorkers(n int) {
 	defaultWorkers.Store(int64(n))
 }
 
+// GrainFactor returns the process-wide auto-grain override set by
+// SetGrainFactor (0 when the default applies). The harness folds it
+// into cached-report keys: host-measured kernels schedule differently
+// under a different grain.
+func GrainFactor() int { return int(grainChunks.Load()) }
+
 // SetGrainFactor sets the auto-grain target of dynamic chunks per
 // worker (default 8). More chunks balance better; fewer chunks cost
 // less scheduling. c <= 0 restores the default.

@@ -128,6 +128,13 @@ func NewCurve(xs, ys []float64) *Curve {
 	return &Curve{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
 }
 
+// Points returns copies of the curve's breakpoints in x order —
+// the canonical form internal/canon hashes into calibration
+// fingerprints.
+func (c *Curve) Points() (xs, ys []float64) {
+	return append([]float64(nil), c.xs...), append([]float64(nil), c.ys...)
+}
+
 // At evaluates the curve at x with clamping at both ends.
 func (c *Curve) At(x float64) float64 {
 	n := len(c.xs)

@@ -5,16 +5,22 @@
 //
 // Three rule groups, keyed by package name:
 //
-//  1. In the simulation packages (machine, engine, experiments, fault):
-//     no wall-clock reads (time.Now, time.Since, ...) and no math/rand —
-//     simulated time and the seeded repro/internal/rng only. Package
-//     fault is in the set because a fault plan must be reproducible
-//     from its seed alone: the same plan string or seed has to derive
-//     bit-identical degraded machines on every run.
+//  1. In the simulation packages (machine, engine, experiments, fault,
+//     canon, memo): no wall-clock reads (time.Now, time.Since, ...) and
+//     no math/rand — simulated time and the seeded repro/internal/rng
+//     only. Package fault is in the set because a fault plan must be
+//     reproducible from its seed alone: the same plan string or seed
+//     has to derive bit-identical degraded machines on every run.
+//     Packages canon and memo are in the set because they carry the
+//     result-cache contract: a fingerprint or cached result that
+//     embedded a timestamp or random value would never hit again (the
+//     disk store's I/O timing instrumentation carries explicit allows).
 //
 //  2. In the simulation packages plus obs (whose exporters render the
 //     reports): ranging over a map must not let Go's randomized
-//     iteration order reach output. A map range is clean when its body
+//     iteration order reach output. For canon this is the map-free
+//     canonical-encoding rule: iteration order reaching a hash would
+//     make equal inputs fingerprint apart. A map range is clean when its body
 //     only accumulates commutatively: writes into other maps, compound
 //     ops (+=, |=, ...), increments, deletes, writes to variables
 //     declared inside the loop, and the collect-keys-then-sort idiom
@@ -45,10 +51,16 @@ import (
 )
 
 // simPackages need rule 1 (and rule 2).
-var simPackages = map[string]bool{"machine": true, "engine": true, "experiments": true, "fault": true}
+var simPackages = map[string]bool{
+	"machine": true, "engine": true, "experiments": true, "fault": true,
+	"canon": true, "memo": true,
+}
 
 // orderedPackages need rule 2: simPackages plus the exporters.
-var orderedPackages = map[string]bool{"machine": true, "engine": true, "experiments": true, "fault": true, "obs": true}
+var orderedPackages = map[string]bool{
+	"machine": true, "engine": true, "experiments": true, "fault": true,
+	"canon": true, "memo": true, "obs": true,
+}
 
 // wallClock is the banned wall-clock surface of package time.
 var wallClock = map[string]bool{

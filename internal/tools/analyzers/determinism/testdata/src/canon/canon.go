@@ -1,0 +1,46 @@
+// Package canon is a golden stand-in for repro/internal/canon: a
+// canonical encoding must be a pure function of its input, so wall
+// clocks, math/rand and map iteration order are all banned from the
+// fingerprint path.
+package canon
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Hasher stands in for the canonical hasher.
+type Hasher struct{ sum uint64 }
+
+// U64 folds a value.
+func (h *Hasher) U64(v uint64) { h.sum = h.sum*31 + v }
+
+func stamped(h *Hasher) {
+	h.U64(uint64(time.Now().UnixNano())) // want `time\.Now in a deterministic package`
+}
+
+func salted(h *Hasher) {
+	h.U64(rand.Uint64()) // want `math/rand in a deterministic package`
+}
+
+// hashMap feeds map entries into the hash in iteration order — the
+// exact bug the canonical-encoding rule exists to stop: equal maps
+// would fingerprint apart run to run.
+func hashMap(h *Hasher, m map[string]uint64) {
+	for _, v := range m {
+		h.U64(v) // want `a call inside a map range runs in randomized order`
+	}
+}
+
+// hashSorted collects keys then sorts — the sanctioned idiom.
+func hashSorted(h *Hasher, m map[string]uint64) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.U64(m[k])
+	}
+}

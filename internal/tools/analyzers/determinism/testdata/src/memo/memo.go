@@ -1,0 +1,40 @@
+// Package memo is a golden stand-in for repro/internal/memo: cache
+// policy must not depend on wall clocks (TTLs would make warm runs
+// nondeterministic) or map iteration order (eviction choice would vary
+// run to run). The real package's disk-timing instrumentation carries
+// explicit //p8:allow suppressions, mirrored here.
+package memo
+
+import "time"
+
+// Cache stands in for the LRU.
+type Cache struct {
+	entries map[string]int
+	stamp   int64
+}
+
+func expired(c *Cache) bool {
+	return time.Since(time.Unix(0, c.stamp)) > time.Minute // want `time\.Since in a deterministic package`
+}
+
+// evictArbitrary picks a victim by map order — flagged: the resident
+// set after eviction would differ run to run.
+func evictArbitrary(c *Cache) string {
+	for k := range c.entries {
+		return k // want `returning from inside a map range selects an arbitrary element`
+	}
+	return ""
+}
+
+// instrumented mirrors the real disk store's timing lines: wall time
+// is harness instrumentation there, never cached state, and each use
+// carries a justified allow.
+func instrumented(c *Cache) {
+	start := time.Now() //p8:allow determinism: disk I/O timing is harness instrumentation, never simulated state
+	_ = start
+}
+
+// evictByKey deletes through a key — order-independent, clean.
+func evictByKey(c *Cache, k string) {
+	delete(c.entries, k)
+}

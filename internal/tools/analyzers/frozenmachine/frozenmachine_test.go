@@ -8,5 +8,5 @@ import (
 )
 
 func TestGolden(t *testing.T) {
-	analysistest.Run(t, "testdata", frozenmachine.Analyzer, "machine", "client")
+	analysistest.Run(t, "testdata", frozenmachine.Analyzer, "machine", "client", "memocache")
 }
