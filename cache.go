@@ -117,6 +117,22 @@ func checkReportBytes(data []byte) error {
 	return nil
 }
 
+// ProbeReport reports whether a completed report for experiment e on
+// machine m under opts is already resident in the cache (memory or
+// disk). The probe is advisory: it promotes nothing and the answer can
+// be stale by the time the caller acts on it — a concurrent run may
+// insert or evict the entry at any moment. p8d uses it to annotate
+// freshly admitted jobs with a warm/cold hint; the authoritative
+// hit/miss attribution is RunOptions.OnReport's fromCache flag, which
+// reports what the lookup actually did. Valid on a nil cache (always
+// false).
+func (sc *SuiteCache) ProbeReport(e Experiment, m *Machine, opts RunOptions) bool {
+	if sc == nil {
+		return false
+	}
+	return sc.reports.Peek(requestKey(m, e, opts))
+}
+
 // lookupOrRun serves one experiment through the report cache:
 // memory, then disk, then compute-and-store via the cache's
 // singleflight (concurrent identical requests — e.g. two warm services
@@ -125,8 +141,10 @@ func checkReportBytes(data []byte) error {
 // duplicate: the duplicate reruns under its own budget, so one
 // cancelled run cannot poison the group. Any cache-layer error falls
 // back to a direct run — the cache is an accelerator, not a
-// dependency.
-func (sc *SuiteCache) lookupOrRun(e Experiment, m *Machine, opts RunOptions, run func() *Report) *Report {
+// dependency. The second return reports whether the cache supplied the
+// report (memory, disk, or another caller's in-flight compute) rather
+// than this caller running the experiment itself.
+func (sc *SuiteCache) lookupOrRun(e Experiment, m *Machine, opts RunOptions, run func() *Report) (*Report, bool) {
 	key := requestKey(m, e, opts)
 	var computed *Report
 	data, _, err := sc.reports.DoBytes(key, checkReportBytes, func() ([]byte, bool, error) {
@@ -142,14 +160,14 @@ func (sc *SuiteCache) lookupOrRun(e Experiment, m *Machine, opts RunOptions, run
 		// This caller ran the experiment itself (cold miss, marshal
 		// failure, or a non-storable retry); hand back the live report
 		// rather than a decode of its own bytes.
-		return computed
+		return computed, false
 	}
 	if err != nil {
-		return run()
+		return run(), false
 	}
 	var rep Report
 	if err := json.Unmarshal(data, &rep); err != nil {
-		return run()
+		return run(), false
 	}
-	return &rep
+	return &rep, true
 }

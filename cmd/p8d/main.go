@@ -1,0 +1,181 @@
+// Command p8d is the long-running simulation service: the experiment
+// harness, the fault layer and the content-addressed result cache
+// behind an HTTP/JSON API.
+//
+// Usage:
+//
+//	p8d                          # serve on :8084, in-memory cache
+//	p8d -addr 127.0.0.1:9000     # bind elsewhere
+//	p8d -queue 64 -jobworkers 4  # deeper admission queue, 4 parallel jobs
+//	p8d -cachedir /var/p8dcache  # persist reports: warm restarts
+//	p8d -cachemb 256             # in-memory report cache budget
+//	p8d -nocache                 # recompute everything, always
+//	p8d -kernelworkers 8         # worker-team size inside host kernels
+//	p8d -grainfactor 16          # finer dynamic kernel chunks
+//
+// Submit a job, poll it, fetch its results:
+//
+//	curl -s -X POST localhost:8084/v1/jobs \
+//	     -d '{"experiments":["table3"],"quick":true}'
+//	curl -s 'localhost:8084/v1/jobs/<id>?wait=30s'
+//	curl -s  localhost:8084/v1/jobs/<id>/reports
+//
+// The full endpoint reference — schemas, error codes, the cache-key
+// contract, streaming — is API.md at the repository root. The
+// operational design (bounded queue, 429 admission control, drain on
+// shutdown) is DESIGN.md "Service architecture".
+//
+// p8d always instruments itself: GET /v1/stats serves the live
+// registry (service admission counters, the kernel runtime's shared
+// team counters, the memo cache's hit/miss/eviction counters) as JSON,
+// or as a Markdown table with ?format=markdown. Per-job experiment
+// counters are opt-in per request ("stats": true) and served under
+// /v1/jobs/{id}/stats.
+//
+// On SIGINT or SIGTERM the daemon drains: admission stops (new submits
+// answer 503), every already-admitted job runs to completion, the HTTP
+// server finishes in-flight responses, and the process exits 0. A
+// second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	power8 "repro"
+	"repro/internal/parallel"
+	"repro/internal/service"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr     = flag.String("addr", ":8084", "listen address")
+		queue    = flag.Int("queue", 16, "admission queue depth (jobs beyond it are rejected with 429)")
+		jworkers = flag.Int("jobworkers", 2, "jobs executing concurrently")
+		nocache  = flag.Bool("nocache", false, "disable the content-addressed result cache")
+		cacheDir = flag.String("cachedir", "", "persist cached reports to this directory (warm restarts)")
+		cacheMB  = flag.Int64("cachemb", 64, "in-memory report cache budget in MiB")
+		kworkers = flag.Int("kernelworkers", 0, "worker-team size for the host kernels (0 = GOMAXPROCS)")
+		grainf   = flag.Int("grainfactor", 0, "dynamic-schedule chunks per worker (0 = default)")
+		waitcap  = flag.Duration("waitlimit", 60*time.Second, "upper bound on the ?wait long-poll parameter")
+	)
+	flag.Parse()
+
+	if err := validateFlags(*queue, *jworkers, *cacheMB, *kworkers, *grainf); err != nil {
+		fmt.Fprintln(os.Stderr, "p8d:", err)
+		flag.Usage()
+		return 2
+	}
+
+	parallel.SetDefaultWorkers(*kworkers)
+	parallel.SetGrainFactor(*grainf)
+
+	// The service is always observed: the registry is the /v1/stats
+	// endpoint, and the shared worker teams and the cache hang their
+	// counters under it.
+	root := power8.NewStatsRegistry("p8d")
+	parallel.InstrumentShared(root)
+
+	var cache *power8.SuiteCache
+	if !*nocache {
+		var err error
+		cache, err = power8.NewSuiteCache(power8.CacheOptions{
+			MaxBytes: *cacheMB << 20,
+			Dir:      *cacheDir,
+		}, root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p8d:", err)
+			return 2
+		}
+	}
+
+	svc := service.New(service.Options{
+		QueueDepth: *queue,
+		Workers:    *jworkers,
+		Cache:      cache,
+		Stats:      root,
+		WaitLimit:  *waitcap,
+	})
+	svc.Start()
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	fmt.Fprintf(os.Stderr, "p8d: serving on %s (queue %d, %d job workers, cache %s)\n",
+		*addr, *queue, *jworkers, cacheMode(*nocache, *cacheDir))
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure to bind or serve.
+		fmt.Fprintln(os.Stderr, "p8d:", err)
+		return 1
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "p8d: %v — draining (admitted jobs run to completion; signal again to abort)\n", sig)
+	}
+
+	// Drain: stop admitting and let the workers finish every admitted
+	// job, then let the HTTP server finish in-flight responses. A
+	// second signal cuts both short.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "p8d: second signal — aborting drain")
+		cancel()
+	}()
+	if err := svc.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "p8d: drain aborted:", err)
+		_ = server.Close()
+		return 1
+	}
+	if err := server.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "p8d: server shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "p8d: drained, exiting")
+	return 0
+}
+
+// validateFlags rejects nonsensical values up front with one friendly
+// line plus the usage text (exit 2), the same contract as p8repro.
+func validateFlags(queue, jworkers int, cacheMB int64, kworkers, grainf int) error {
+	if queue < 1 {
+		return fmt.Errorf("-queue must be at least 1, got %d", queue)
+	}
+	if jworkers < 1 {
+		return fmt.Errorf("-jobworkers must be at least 1, got %d", jworkers)
+	}
+	if cacheMB < 1 {
+		return fmt.Errorf("-cachemb must be at least 1, got %d", cacheMB)
+	}
+	if kworkers < 0 {
+		return fmt.Errorf("-kernelworkers must be >= 0, got %d", kworkers)
+	}
+	if grainf < 0 {
+		return fmt.Errorf("-grainfactor must be >= 0, got %d", grainf)
+	}
+	return nil
+}
+
+// cacheMode renders the cache configuration for the startup banner.
+func cacheMode(nocache bool, dir string) string {
+	switch {
+	case nocache:
+		return "off"
+	case dir != "":
+		return "memory+disk:" + dir
+	default:
+		return "memory"
+	}
+}

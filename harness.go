@@ -72,6 +72,16 @@ type RunOptions struct {
 	// stays on. Like Shards, the cache is a wall-time knob only: warm
 	// and cold runs return the same bits.
 	Cache *SuiteCache
+	// OnReport, when non-nil, is called once per experiment as its
+	// report becomes final (after the retry loop and the cache layer),
+	// from the worker goroutine that produced it and in completion
+	// order — the returned slice is still in suite order. index is the
+	// experiment's position in the suite; fromCache reports whether the
+	// result was served from the suite cache rather than executed. p8d
+	// uses it to stream per-experiment progress and to attribute
+	// warm-vs-cold provenance; the callback must be safe for concurrent
+	// calls when Workers > 1.
+	OnReport func(index int, rep *Report, fromCache bool)
 }
 
 // RunSuite executes a set of experiments against one machine under the
@@ -94,18 +104,23 @@ func RunSuite(suite []Experiment, m *Machine, opts RunOptions) []*Report {
 		stop := broker.watch(opts.Cancel)
 		defer stop()
 	}
-	return parallel.Map(workers, suite, func(_ int, e Experiment) *Report {
-		return runHardened(e, m, opts, h, broker, recordAllocs)
+	return parallel.Map(workers, suite, func(i int, e Experiment) *Report {
+		rep, fromCache := runHardened(e, m, opts, h, broker, recordAllocs)
+		if opts.OnReport != nil {
+			opts.OnReport(i, rep, fromCache)
+		}
+		return rep
 	})
 }
 
 // runHardened serves one experiment through the result cache when one
 // is configured (and the run is uninstrumented), falling back to the
-// attempt loop on a miss; without a cache it is the attempt loop.
-func runHardened(e Experiment, m *Machine, opts RunOptions, h *obs.Registry, broker *cancelBroker, recordAllocs bool) *Report {
+// attempt loop on a miss; without a cache it is the attempt loop. The
+// second return reports whether the cache supplied the report.
+func runHardened(e Experiment, m *Machine, opts RunOptions, h *obs.Registry, broker *cancelBroker, recordAllocs bool) (*Report, bool) {
 	run := func() *Report { return runAttempts(e, m, opts, h, broker, recordAllocs) }
 	if opts.Cache == nil || opts.Stats != nil {
-		return run()
+		return run(), false
 	}
 	return opts.Cache.lookupOrRun(e, m, opts, run)
 }

@@ -238,6 +238,24 @@ func orderOf(id string) int {
 	return len(order)
 }
 
+// SuiteNames returns the named suites a caller can run, in a fixed
+// order: "paper" (every table and figure of the evaluation, All) and
+// "degradation" (the fault sweeps, DegradationSuite). p8d's job
+// requests and catalog endpoint select suites by these names.
+func SuiteNames() []string { return []string{"paper", "degradation"} }
+
+// SuiteByName resolves a suite name from SuiteNames; ok is false for
+// anything else.
+func SuiteByName(name string) (suite []Experiment, ok bool) {
+	switch name {
+	case "paper":
+		return All(), true
+	case "degradation":
+		return DegradationSuite(), true
+	}
+	return nil, false
+}
+
 // ByID looks up one experiment.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range registry {

@@ -42,6 +42,27 @@ func (c *Cache) Dir() string {
 	return c.disk.dir
 }
 
+// Peek reports whether a result for key is already resident — in the
+// memory LRU, or (when the on-disk store is enabled) as a disk entry.
+// It is purely advisory: it promotes nothing, validates nothing,
+// charges no stats, and the answer can be stale by the time the caller
+// acts on it (a concurrent Do may insert or evict the key at any
+// moment). p8d uses it to annotate freshly admitted jobs with a
+// warm/cold hint without perturbing the cache.
+func (c *Cache) Peek(key canon.Fingerprint) bool {
+	c.mu.Lock()
+	_, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	if c.disk == nil {
+		return false
+	}
+	_, err := os.Stat(c.disk.path(key))
+	return err == nil
+}
+
 // DoBytes is Do for serialized results, with the on-disk store in the
 // lookup path: memory LRU, then disk (when enabled), then compute. A
 // disk hit is promoted into the memory LRU; a computed storable result

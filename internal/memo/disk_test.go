@@ -171,3 +171,43 @@ func TestDiskSharedDirectory(t *testing.T) {
 		}
 	}
 }
+
+// TestPeek: Peek sees memory entries, sees disk entries (without
+// promoting them into memory), and stays silent for absent keys.
+func TestPeek(t *testing.T) {
+	dir := t.TempDir()
+	c := New("t", 0, nil)
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if c.Peek(key(1)) {
+		t.Error("Peek on an empty cache")
+	}
+	if _, _, err := c.DoBytes(key(1), nil, computeBytes([]byte("x"), true, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Peek(key(1)) {
+		t.Error("Peek misses a resident entry")
+	}
+
+	// A fresh cache over the same directory: the entry is disk-only.
+	warm := New("t", 0, nil)
+	if err := warm.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Peek(key(1)) {
+		t.Error("Peek misses a disk entry")
+	}
+	if warm.Len() != 0 {
+		t.Errorf("Peek promoted the disk entry (Len=%d)", warm.Len())
+	}
+	if warm.Peek(key(2)) {
+		t.Error("Peek invents an absent key")
+	}
+
+	// Memory-only cache: no disk to consult.
+	mem := New("m", 0, nil)
+	if mem.Peek(key(1)) {
+		t.Error("memory-only Peek sees another cache's disk")
+	}
+}

@@ -93,6 +93,16 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	serveSnapshot(w, req, r.Snapshot())
 }
 
+// ServeSnapshot writes one already-taken snapshot as an HTTP response
+// with the Registry handler's format negotiation: JSON by default,
+// Markdown with ?format=markdown. Use it to serve a stored snapshot —
+// a finished job's counter appendix, a report's Stats — where
+// Registry.ServeHTTP would re-snapshot live (and possibly since
+// mutated) state.
+func ServeSnapshot(w http.ResponseWriter, req *http.Request, snap Snapshot) {
+	serveSnapshot(w, req, snap)
+}
+
 // serveSnapshot renders one snapshot as JSON (the default) or as
 // Markdown with ?format=markdown.
 func serveSnapshot(w http.ResponseWriter, req *http.Request, snap Snapshot) {

@@ -1,0 +1,75 @@
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// Example shows the full client round trip against an in-process
+// server: submit a job, long-poll it to completion, fetch the
+// canonical reports body. The same three requests, as curl commands
+// against a real p8d, open API.md's walkthrough.
+func Example() {
+	svc := service.New(service.Options{Workers: 1})
+	svc.Start()
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Submit: POST /v1/jobs answers 202 with the queued job.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"experiments": ["table1"], "quick": true}`))
+	if err != nil {
+		panic(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("submitted:", resp.StatusCode)
+
+	// Poll: ?wait long-polls until the job is done (or the wait cap).
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + job.ID + "?wait=60s")
+	if err != nil {
+		panic(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("state:", job.State)
+
+	// Fetch: the reports body is the suite-ordered array; for an
+	// uninstrumented request it is byte-identical between a cold run
+	// and a warm replay.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + job.ID + "/reports")
+	if err != nil {
+		panic(err)
+	}
+	var reports []struct {
+		ID  string `json:"ID"`
+		Err string `json:"Err"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reports); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("reports:", len(reports))
+	fmt.Println(reports[0].ID, "failed:", reports[0].Err != "")
+
+	// Output:
+	// submitted: 202
+	// state: done
+	// reports: 1
+	// table1 failed: false
+}
