@@ -1,6 +1,9 @@
 package arch
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // GuardMap records resources the firmware has deconfigured ("guarded
 // out") after detecting faults — the POWER8 RAS behaviour where a core
@@ -68,7 +71,16 @@ func (g *GuardMap) Validate(s *SystemSpec) error {
 	if g == nil {
 		return nil
 	}
-	for c, n := range g.cores {
+	// Chips are checked in ascending order so that when several are
+	// invalid the error — which reaches API clients verbatim — always
+	// names the same one.
+	chips := make([]ChipID, 0, len(g.cores))
+	for c := range g.cores {
+		chips = append(chips, c)
+	}
+	sort.Slice(chips, func(i, j int) bool { return chips[i] < chips[j] })
+	for _, c := range chips {
+		n := g.cores[c]
 		if int(c) < 0 || int(c) >= s.Topology.Chips {
 			return fmt.Errorf("arch: guard map names chip %d outside [0,%d)", c, s.Topology.Chips)
 		}

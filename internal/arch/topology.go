@@ -162,6 +162,6 @@ func (t *Topology) AggregateCapacity(kind LinkKind) units.Bandwidth {
 
 func (t *Topology) check(c ChipID) {
 	if int(c) < 0 || int(c) >= t.Chips {
-		panic(fmt.Sprintf("arch: chip %d out of range [0,%d)", c, t.Chips))
+		panic(fmt.Sprintf("arch: chip %d out of range [0,%d)", c, t.Chips)) //p8:allow hotpath: panic path only — the Sprintf runs once, on a programming error, never on the steady-state access path
 	}
 }

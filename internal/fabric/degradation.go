@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/arch"
 )
@@ -81,12 +82,29 @@ func (d *Degradation) Links() int {
 }
 
 // Validate checks every derated link against the topology: the pair
-// must be wired with a link of the recorded kind.
+// must be wired with a link of the recorded kind. Links are checked in
+// canonical (a, b, kind) order so that when several are invalid the
+// error — which reaches API clients verbatim — always names the same
+// one.
 func (d *Degradation) Validate(topo *arch.Topology) error {
 	if d == nil {
 		return nil
 	}
+	keys := make([]linkKey, 0, len(d.factors))
 	for k := range d.factors {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.a != b.a {
+			return a.a < b.a
+		}
+		if a.b != b.b {
+			return a.b < b.b
+		}
+		return a.kind < b.kind
+	})
+	for _, k := range keys {
 		l, ok := topo.LinkBetween(k.a, k.b)
 		if !ok || l.Kind != k.kind {
 			return fmt.Errorf("fabric: no %v link between chips %d and %d to spare lanes on", k.kind, k.a, k.b)

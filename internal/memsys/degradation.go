@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/arch"
 )
@@ -152,7 +153,16 @@ func (d *Degradation) Validate(sys *arch.SystemSpec) error {
 		return nil
 	}
 	perChip := sys.Memory.CentaursPerChip
-	for c, n := range d.lostChannels {
+	// Chips are checked in ascending order so that when several are
+	// invalid the error — which reaches API clients verbatim — always
+	// names the same one.
+	chips := make([]arch.ChipID, 0, len(d.lostChannels))
+	for c := range d.lostChannels {
+		chips = append(chips, c)
+	}
+	sort.Slice(chips, func(i, j int) bool { return chips[i] < chips[j] })
+	for _, c := range chips {
+		n := d.lostChannels[c]
 		if int(c) < 0 || int(c) >= sys.Topology.Chips {
 			return fmt.Errorf("memsys: lost channels name chip %d outside [0,%d)", c, sys.Topology.Chips)
 		}

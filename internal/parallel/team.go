@@ -204,7 +204,7 @@ func (j *teamJob) run(w int) {
 				if instrumented {
 					j.noteChunk(w, hi-lo)
 				}
-				j.body(w, lo, hi)
+				j.body(w, lo, hi) //p8:allow hotpathdeep: the body IS the team's payload — dispatch is necessarily indirect; hot kernels annotate their own bodies
 			}
 		}
 		return
@@ -223,7 +223,7 @@ func (j *teamJob) run(w int) {
 		if instrumented {
 			j.noteChunk(w, end-int(start))
 		}
-		j.body(w, int(start), end)
+		j.body(w, int(start), end) //p8:allow hotpathdeep: the body IS the team's payload — dispatch is necessarily indirect; hot kernels annotate their own bodies
 	}
 }
 
@@ -232,7 +232,8 @@ func (j *teamJob) run(w int) {
 // kernel pays before any useful work starts).
 func (j *teamJob) noteChunk(w, items int) {
 	if j.firstNs.Load() < 0 {
-		j.firstNs.CompareAndSwap(-1, time.Now().UnixNano()-j.startNs)
+		//p8:allow determinism: the dispatch-to-first-chunk stamp is obs-only timing provenance — it lands in counter snapshots, never in simulated state or report fingerprints
+		j.firstNs.CompareAndSwap(-1, time.Now().UnixNano()-j.startNs) //p8:allow hotpath: instrumented dispatches only — one CAS+stamp on the first chunk pull, then the branch above short-circuits
 	}
 	j.chunks[w]++
 	j.items[w] += uint64(items)
@@ -307,7 +308,7 @@ func (t *Team) dispatch(n, grain int, bounds []int, body func(worker, lo, hi int
 		// Inline when one worker (or one chunk) covers the whole range:
 		// no cross-goroutine handoff, deterministic ascending order.
 		if t.workers == 1 || n <= grain {
-			body(0, 0, n)
+			body(0, 0, n) //p8:allow hotpathdeep: inline single-worker dispatch of the caller-supplied body — necessarily indirect; hot kernels annotate their own bodies
 			if st != nil {
 				st.recordInline(1, uint64(n))
 			}
@@ -317,7 +318,7 @@ func (t *Team) dispatch(n, grain int, bounds []int, body func(worker, lo, hi int
 		var parts, items uint64
 		for p := 0; p+1 < len(bounds); p++ {
 			if bounds[p] < bounds[p+1] {
-				body(p, bounds[p], bounds[p+1])
+				body(p, bounds[p], bounds[p+1]) //p8:allow hotpathdeep: inline single-worker dispatch of the caller-supplied body — necessarily indirect; hot kernels annotate their own bodies
 				parts++
 				items += uint64(bounds[p+1] - bounds[p])
 			}
@@ -344,7 +345,8 @@ func (t *Team) dispatch(n, grain int, bounds []int, body func(worker, lo, hi int
 		for w := range j.chunks {
 			j.chunks[w], j.items[w] = 0, 0
 		}
-		j.firstNs.Store(-1)               //p8:allow hotpath: instrumented dispatches only, once per loop
+		j.firstNs.Store(-1) //p8:allow hotpath: instrumented dispatches only, once per loop
+		//p8:allow determinism: wall time here only seeds the obs handoff-latency stamp; it never reaches simulated state or report fingerprints
 		j.startNs = time.Now().UnixNano() //p8:allow hotpath: instrumented dispatches only — the dispatch-to-first-chunk stamp needs wall time
 	}
 	j.wg.Add(wake)

@@ -206,14 +206,19 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		s.scope.Counter("jobs_rejected_draining").Inc()
 		return nil, &submitErr{code: http.StatusServiceUnavailable, msg: "service is draining; not accepting jobs"}
 	}
+	// The ID must be written BEFORE the job is pushed into the queue:
+	// the channel send publishes the job to the worker pool, and any
+	// field written after it races with the worker. On rejection the
+	// sequence number rolls back so admission numbering stays dense.
+	s.seq++
+	job.ID = jobID(s.seq, job.Fingerprint)
 	select {
 	case s.queue <- job:
 	default:
+		s.seq--
 		s.scope.Counter("jobs_rejected_full").Inc()
 		return nil, &submitErr{code: http.StatusTooManyRequests, msg: "job queue is full; retry later"}
 	}
-	s.seq++
-	job.ID = jobID(s.seq, job.Fingerprint)
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.scope.Counter("jobs_submitted").Inc()

@@ -25,7 +25,10 @@ import (
 	"sort"
 )
 
-// An Analyzer is one named static check.
+// An Analyzer is one named static check. Exactly one of Run and
+// RunProgram is set: Run is a per-package pass, RunProgram a
+// whole-program pass over every loaded package at once (the
+// interprocedural analyzers, which need the call graph).
 type Analyzer struct {
 	// Name identifies the analyzer in findings and in //p8:allow
 	// comments. Lower-case, no spaces.
@@ -37,6 +40,9 @@ type Analyzer struct {
 	// through the pass. A returned error aborts the whole lint run
 	// (reserved for internal failures, not findings).
 	Run func(*Pass) error
+	// RunProgram executes the check once over the whole load set; set
+	// instead of Run for interprocedural analyzers.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass is the view of one package given to an Analyzer's Run.
@@ -55,6 +61,12 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding covered by a //p8:allow directive;
+	// Justification carries the directive's mandatory why-text.
+	// RunDetailed returns suppressed findings (for the -json report);
+	// Run drops them.
+	Suppressed    bool
+	Justification string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -134,6 +146,20 @@ func (p *Pass) IsMap(e ast.Expr) bool {
 	}
 	_, ok := t.Underlying().(*types.Map)
 	return ok
+}
+
+// sortAllows orders directives by file, line, analyzer.
+func sortAllows(allows []Allow) {
+	sort.Slice(allows, func(i, j int) bool {
+		a, b := allows[i], allows[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
 }
 
 // sortDiagnostics orders findings by file, line, column, analyzer.

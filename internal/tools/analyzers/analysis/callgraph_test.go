@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+// loadGraph loads the golden graph package and builds its call graph.
+func loadGraph(t *testing.T) (*CallGraph, *Package) {
+	t.Helper()
+	loader := NewLoader("testdata/src")
+	pkgs, err := loader.Load("graph")
+	if err != nil {
+		t.Fatalf("loading golden package: %v", err)
+	}
+	prog := NewProgram(loader.Fset, pkgs)
+	return prog.Graph(), pkgs[0]
+}
+
+// nodeByName finds a declared function node by its rendered name.
+func nodeByName(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Sorted {
+		if n.String() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q in graph (have %d nodes)", name, len(g.Sorted))
+	return nil
+}
+
+func TestGraphStaticAndExtern(t *testing.T) {
+	g, _ := loadGraph(t)
+	n := nodeByName(t, g, "graph.Static")
+	var gotHelper, gotSort bool
+	for _, site := range n.Calls {
+		switch {
+		case len(site.Callees) == 1 && site.Callees[0].String() == "graph.helper":
+			gotHelper = true
+		case site.ExternPath == "sort" && site.ExternName == "Ints":
+			gotSort = true
+		}
+	}
+	if !gotHelper {
+		t.Errorf("Static: missing static edge to graph.helper: %+v", n.Calls)
+	}
+	if !gotSort {
+		t.Errorf("Static: missing extern leaf sort.Ints: %+v", n.Calls)
+	}
+}
+
+func TestGraphInterfaceExpansion(t *testing.T) {
+	g, _ := loadGraph(t)
+	n := nodeByName(t, g, "graph.Dispatch")
+	if len(n.Calls) != 1 {
+		t.Fatalf("Dispatch: want 1 call site, got %d", len(n.Calls))
+	}
+	site := n.Calls[0]
+	if site.Interface == nil || site.Interface.Name() != "Area" {
+		t.Fatalf("Dispatch: site not marked as interface dispatch: %+v", site)
+	}
+	var names []string
+	for _, c := range site.Callees {
+		names = append(names, c.String())
+	}
+	want := []string{"graph.Circle.Area", "*graph.Square.Area"}
+	if len(names) != 2 {
+		t.Fatalf("Dispatch: want callees %v, got %v (Decoy must be excluded)", want, names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("Dispatch: missing conservative callee %s in %v", w, names)
+		}
+	}
+}
+
+func TestGraphDynamicAndLiteral(t *testing.T) {
+	g, _ := loadGraph(t)
+
+	dyn := nodeByName(t, g, "graph.Dynamic")
+	if len(dyn.Calls) != 1 || !dyn.Calls[0].Dynamic {
+		t.Errorf("Dynamic: want one dynamic site, got %+v", dyn.Calls)
+	}
+
+	// The literal's helper call is attributed to Literal; the g() call
+	// of the literal itself is a dynamic site (g is a func variable).
+	lit := nodeByName(t, g, "graph.Literal")
+	var static, dynamic int
+	for _, site := range lit.Calls {
+		if site.Dynamic {
+			dynamic++
+			continue
+		}
+		if len(site.Callees) == 1 && site.Callees[0].String() == "graph.helper" {
+			static++
+		}
+	}
+	if static != 1 || dynamic != 1 {
+		t.Errorf("Literal: want helper edge (attributed from the literal body) and one dynamic site, got static=%d dynamic=%d", static, dynamic)
+	}
+}
+
+func TestGraphNodeOfOrigin(t *testing.T) {
+	g, pkg := loadGraph(t)
+	obj := pkg.Types.Scope().Lookup("Static")
+	f, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("Static is %T, want *types.Func", obj)
+	}
+	if n := g.NodeOf(f); n == nil || n.String() != "graph.Static" {
+		t.Errorf("NodeOf(Static) = %v", n)
+	}
+	if g.NodeOf(nil) != nil {
+		t.Errorf("NodeOf(nil) should be nil")
+	}
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// A Program is the whole-program view handed to RunProgram analyzers:
+// every package of the load set at once, plus the call graph over them
+// (built lazily, shared by every interprocedural pass).
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	allowed map[allowKey]bool
+	graph   *CallGraph
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// NewProgram assembles a program over the load set. The runner calls
+// it once per RunDetailed; tests may build one directly.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	p := &Program{Fset: fset, Pkgs: pkgs, allowed: map[allowKey]bool{}}
+	for _, pkg := range pkgs {
+		allows, _ := scanAllows(fset, pkg)
+		for _, a := range allows {
+			p.allowed[allowKey{a.file, a.line, a.analyzer}] = true
+		}
+	}
+	return p
+}
+
+// Allowed reports whether a //p8:allow directive for the named
+// analyzer covers the line at pos (directive on the same line or the
+// line above — the standard placement). Interprocedural analyzers use
+// it to honor a justification written at the offending *leaf* line:
+// a deviation the intraprocedural pass already waived there must not
+// resurface as a call-chain finding anchored somewhere else.
+func (p *Program) Allowed(analyzer string, pos token.Pos) bool {
+	ppos := p.Fset.Position(pos)
+	return p.allowed[allowKey{ppos.Filename, ppos.Line, analyzer}] ||
+		p.allowed[allowKey{ppos.Filename, ppos.Line - 1, analyzer}]
+}
+
+// Graph returns the typed call graph, building it on first use.
+func (p *Program) Graph() *CallGraph {
+	if p.graph == nil {
+		p.graph = buildGraph(p)
+	}
+	return p.graph
+}
+
+// A ProgramPass is the view handed to an Analyzer's RunProgram.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}

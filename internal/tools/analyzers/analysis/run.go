@@ -9,12 +9,32 @@ import (
 // suppression protocol itself (malformed //p8:allow comments).
 const SuppressorName = "p8lint"
 
-// An allowDirective is one parsed //p8:allow comment.
-type allowDirective struct {
-	analyzer      string
-	justification string
-	file          string
-	line          int
+// An Allow is one //p8:allow directive found in the tree — the unit of
+// suppression debt. The -suppressions report lists them; the budget
+// check counts them.
+type Allow struct {
+	// File and Line locate the directive itself.
+	File string
+	Line int
+	// Analyzer is the pass being waived; Justification the mandatory
+	// why-text.
+	Analyzer      string
+	Justification string
+}
+
+// A Result is the full outcome of one lint run: the surviving
+// findings, the findings a //p8:allow covered (kept for the -json
+// report, each carrying its directive's justification), and every
+// directive in the tree whether or not it fired.
+type Result struct {
+	// Findings are the unsuppressed diagnostics, sorted by position.
+	Findings []Diagnostic
+	// Suppressed are the diagnostics covered by an allow, sorted by
+	// position, with Suppressed set and Justification filled.
+	Suppressed []Diagnostic
+	// Allows are every //p8:allow directive scanned, sorted by
+	// position.
+	Allows []Allow
 }
 
 // Run executes every analyzer over every package and returns the
@@ -30,13 +50,31 @@ type allowDirective struct {
 // (analyzer "p8lint") — so every suppression in the tree documents why
 // the contract is waived at that point.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := RunDetailed(fset, pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// RunDetailed is Run with the full Result: suppressed findings and the
+// allow inventory included. Per-package analyzers (Run) see one
+// package at a time; whole-program analyzers (RunProgram) run once
+// over the entire load set with the call graph available.
+func RunDetailed(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
 	var diags []Diagnostic
 	var allows []allowDirective
 	for _, pkg := range pkgs {
 		a, bad := scanAllows(fset, pkg)
 		allows = append(allows, a...)
 		diags = append(diags, bad...)
+	}
+	prog := NewProgram(fset, pkgs)
+	for _, pkg := range pkgs {
 		for _, an := range analyzers {
+			if an.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  an,
 				Fset:      fset,
@@ -50,9 +88,27 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 			}
 		}
 	}
-	diags = suppress(diags, allows)
-	sortDiagnostics(diags)
-	return diags, nil
+	for _, an := range analyzers {
+		if an.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Analyzer: an, Prog: prog, diags: &diags}
+		if err := an.RunProgram(pass); err != nil {
+			return nil, err
+		}
+	}
+	res := suppress(diags, allows)
+	sortDiagnostics(res.Findings)
+	sortDiagnostics(res.Suppressed)
+	return res, nil
+}
+
+// An allowDirective is one parsed //p8:allow comment.
+type allowDirective struct {
+	analyzer      string
+	justification string
+	file          string
+	line          int
 }
 
 // scanAllows collects the //p8:allow directives of one package and
@@ -91,28 +147,37 @@ func scanAllows(fset *token.FileSet, pkg *Package) ([]allowDirective, []Diagnost
 	return allows, bad
 }
 
-// suppress drops findings covered by an allow directive on the same
-// line or the line above.
-func suppress(diags []Diagnostic, allows []allowDirective) []Diagnostic {
-	if len(allows) == 0 {
-		return diags
-	}
+// suppress splits findings into surviving and allow-covered (same line
+// as the directive or the line below it) and builds the allow
+// inventory.
+func suppress(diags []Diagnostic, allows []allowDirective) *Result {
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	covered := map[key]bool{}
-	for _, a := range allows {
-		covered[key{a.file, a.line, a.analyzer}] = true
-		covered[key{a.file, a.line + 1, a.analyzer}] = true
+	covered := map[key]*allowDirective{}
+	for i := range allows {
+		a := &allows[i]
+		covered[key{a.file, a.line, a.analyzer}] = a
+		covered[key{a.file, a.line + 1, a.analyzer}] = a
 	}
-	out := diags[:0]
+	res := &Result{}
 	for _, d := range diags {
-		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		if a := covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; a != nil {
+			d.Suppressed = true
+			d.Justification = a.justification
+			res.Suppressed = append(res.Suppressed, d)
 			continue
 		}
-		out = append(out, d)
+		res.Findings = append(res.Findings, d)
 	}
-	return out
+	for _, a := range allows {
+		res.Allows = append(res.Allows, Allow{
+			File: a.file, Line: a.line,
+			Analyzer: a.analyzer, Justification: a.justification,
+		})
+	}
+	sortAllows(res.Allows)
+	return res
 }

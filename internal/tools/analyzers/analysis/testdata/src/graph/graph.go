@@ -1,0 +1,54 @@
+// Package graph exercises call-graph construction: static calls,
+// concrete and interface method dispatch, function values and func
+// literals.
+package graph
+
+import "sort"
+
+// Shape is implemented by Circle (value receiver) and *Square
+// (pointer receiver); dispatch through it must expand to both.
+type Shape interface {
+	Area() float64
+}
+
+// Circle implements Shape with a value receiver.
+type Circle struct{ R float64 }
+
+// Area returns the area.
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+// Square implements Shape with a pointer receiver.
+type Square struct{ S float64 }
+
+// Area returns the area.
+func (s *Square) Area() float64 { return s.S * s.S }
+
+// Decoy has an Area method but a different signature, so it does not
+// satisfy Shape and must not appear in the expansion.
+type Decoy struct{}
+
+// Area takes an argument, unlike Shape.Area.
+func (Decoy) Area(scale float64) float64 { return scale }
+
+// helper is a plain static callee.
+func helper() int { return 1 }
+
+// Static calls helper directly and a stdlib function as an extern
+// leaf.
+func Static(xs []int) int {
+	sort.Ints(xs)
+	return helper()
+}
+
+// Dispatch calls through the interface.
+func Dispatch(s Shape) float64 { return s.Area() }
+
+// Dynamic calls through a function value.
+func Dynamic(f func() int) int { return f() }
+
+// Literal declares and invokes a func literal; its body (the helper
+// call) is attributed to Literal itself.
+func Literal() int {
+	g := func() int { return helper() }
+	return g()
+}

@@ -1,0 +1,227 @@
+// Package determdeep extends the determinism contract across the call
+// graph: wall-clock, math/rand and map-iteration-order taint is
+// propagated interprocedurally, so a deterministic package that calls
+// an innocent-looking helper which reads time.Now three frames down is
+// flagged at the call — the intraprocedural determinism pass only sees
+// uses written directly inside the deterministic packages.
+//
+// Model:
+//
+//   - Scope: calls made from the simulation packages (machine, engine,
+//     experiments, fault, canon, memo — the same set the determinism
+//     pass guards) into module functions outside both that set and
+//     obs.
+//   - A helper is tainted when its static call closure — traversed
+//     through module functions outside the deterministic packages and
+//     obs, with interface dispatch expanded conservatively — reaches a
+//     wall-clock read (time.Now, time.Since, ...), any use of
+//     math/rand, or a map range whose body leaks iteration order
+//     (classified by the same rules as the intraprocedural pass).
+//   - The diagnostic anchors at the call site inside the deterministic
+//     package and prints the chain down to the offense.
+//
+// Boundaries and conservatism: callees inside the deterministic
+// packages are not traversed (their own bodies are already checked
+// intraprocedurally, so the taint would be reported at its source);
+// callees in obs are not traversed either — obs carries its own
+// ordered-output contract, and its wall-clock surface (Timers) is
+// harness provenance by design, never simulated state. Calls through
+// function values are not traversed (statically unbounded); the
+// intraprocedural pass still covers the bodies of whatever they
+// invoke, wherever those are declared. A leaf already waived with
+// `//p8:allow determinism` (or `//p8:allow determdeep`) is honored
+// here, so one justified deviation is not reported twice.
+//
+// Deviations are suppressed per call site with
+// `//p8:allow determdeep: <why>`.
+package determdeep
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analyzers/analysis"
+	"repro/internal/tools/analyzers/determinism"
+)
+
+// simPackages are the deterministic packages whose outgoing calls are
+// checked — the same set the intraprocedural determinism pass guards.
+var simPackages = map[string]bool{
+	"machine": true, "engine": true, "experiments": true, "fault": true,
+	"canon": true, "memo": true,
+}
+
+// boundaryPackages are not traversed during taint propagation:
+// simPackages (checked intraprocedurally at the source) plus obs (its
+// own ordered-output contract; Timers are harness provenance).
+var boundaryPackages = map[string]bool{
+	"machine": true, "engine": true, "experiments": true, "fault": true,
+	"canon": true, "memo": true, "obs": true,
+}
+
+// wallClock is the banned wall-clock surface of package time.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// Analyzer is the determdeep pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "determdeep",
+	Doc:        "wall-clock, math/rand and map-order taint must not reach the deterministic packages through helper calls; diagnostics carry the call chain",
+	RunProgram: run,
+}
+
+// A taint describes why a helper is nondeterministic: the offense, its
+// position, and the chain of module functions from the helper down to
+// it.
+type taint struct {
+	desc  string
+	pos   token.Pos
+	chain []*analysis.FuncNode
+}
+
+// checker memoizes taint per node while walking the graph.
+type checker struct {
+	pass *analysis.ProgramPass
+	g    *analysis.CallGraph
+	memo map[*analysis.FuncNode]*taint
+	done map[*analysis.FuncNode]bool
+}
+
+func run(pass *analysis.ProgramPass) error {
+	c := &checker{
+		pass: pass,
+		g:    pass.Prog.Graph(),
+		memo: map[*analysis.FuncNode]*taint{},
+		done: map[*analysis.FuncNode]bool{},
+	}
+	for _, node := range c.g.Sorted {
+		if !simPackages[node.Pkg.Types.Name()] {
+			continue
+		}
+		for _, site := range node.Calls {
+			c.checkSite(node, site)
+		}
+	}
+	return nil
+}
+
+// checkSite flags a call from a deterministic package to a tainted
+// out-of-scope helper.
+func (c *checker) checkSite(from *analysis.FuncNode, site *analysis.CallSite) {
+	for _, callee := range site.Callees {
+		if boundaryPackages[callee.Pkg.Types.Name()] {
+			continue // checked intraprocedurally at the source
+		}
+		t := c.taintOf(callee)
+		if t == nil {
+			continue
+		}
+		p := c.pass.Prog.Fset.Position(t.pos)
+		c.pass.Reportf(site.Pos(),
+			"nondeterminism reaches %s through this call: %s %s at %s:%d (call chain %s)",
+			from.Pkg.Types.Name(), t.chain[len(t.chain)-1].String(), t.desc, p.Filename, p.Line,
+			renderChain(from, t.chain))
+		return // one finding per call site
+	}
+}
+
+// taintOf computes (and memoizes) whether a helper's closure reaches a
+// nondeterminism source. Cycles resolve to clean unless a source is
+// found elsewhere on the walk.
+func (c *checker) taintOf(node *analysis.FuncNode) *taint {
+	if c.done[node] {
+		return c.memo[node]
+	}
+	c.done[node] = true // pre-mark: cycles read clean while in progress
+
+	if t := c.direct(node); t != nil {
+		c.memo[node] = t
+		return t
+	}
+	for _, site := range node.Calls {
+		for _, callee := range site.Callees {
+			if boundaryPackages[callee.Pkg.Types.Name()] {
+				continue
+			}
+			if sub := c.taintOf(callee); sub != nil {
+				t := &taint{desc: sub.desc, pos: sub.pos,
+					chain: append([]*analysis.FuncNode{node}, sub.chain...)}
+				c.memo[node] = t
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// direct finds a nondeterminism source written in the node's own body:
+// a banned extern call, any math/rand reference, or an order-leaking
+// map range. Leaves waived with //p8:allow determinism or determdeep
+// are skipped.
+func (c *checker) direct(node *analysis.FuncNode) *taint {
+	var found *taint
+	record := func(pos token.Pos, desc string) {
+		if found != nil || c.allowedLeaf(pos) {
+			return
+		}
+		found = &taint{desc: desc, pos: pos, chain: []*analysis.FuncNode{node}}
+	}
+	for _, site := range node.Calls {
+		if site.ExternName == "" {
+			continue
+		}
+		switch site.ExternPath {
+		case "time":
+			if wallClock[site.ExternName] {
+				record(site.Pos(), "reads the wall clock (time."+site.ExternName+")")
+			}
+		case "math/rand", "math/rand/v2":
+			record(site.Pos(), "uses math/rand."+site.ExternName)
+		}
+	}
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			// Non-call uses of math/rand (rand.Source values, method
+			// receivers) taint too, as in the intraprocedural pass.
+			if obj := info.Uses[n]; obj != nil && obj.Pkg() != nil {
+				switch obj.Pkg().Path() {
+				case "math/rand", "math/rand/v2":
+					record(n.Pos(), "uses math/rand")
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					for _, leak := range determinism.RangeLeaks(info, node.File, n) {
+						record(leak.Pos, "lets map iteration order escape ("+leak.Msg+")")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// allowedLeaf reports whether the determinism contract has been waived
+// on the offending line.
+func (c *checker) allowedLeaf(pos token.Pos) bool {
+	return c.pass.Prog.Allowed("determinism", pos) || c.pass.Prog.Allowed("determdeep", pos)
+}
+
+// renderChain renders from → helper → ... → offender.
+func renderChain(from *analysis.FuncNode, chain []*analysis.FuncNode) string {
+	names := make([]string, 0, len(chain)+1)
+	names = append(names, from.String())
+	for _, n := range chain {
+		names = append(names, n.String())
+	}
+	return strings.Join(names, " → ")
+}

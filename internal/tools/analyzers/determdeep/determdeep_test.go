@@ -1,0 +1,12 @@
+package determdeep_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/determdeep"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", determdeep.Analyzer, "engine", "helpers", "other")
+}

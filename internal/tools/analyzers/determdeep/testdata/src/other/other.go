@@ -1,0 +1,8 @@
+// Package other is outside the deterministic set: its calls to
+// tainted helpers are legal and must not fire.
+package other
+
+import "helpers"
+
+// Free may use whatever it likes.
+func Free() int64 { return helpers.Chain() + int64(helpers.Roll()) }

@@ -43,6 +43,7 @@
 package determinism
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -139,24 +140,43 @@ func checkSelect(pass *analysis.Pass, s *ast.SelectStmt) {
 	}
 }
 
+// A RangeLeak is one statement of a map-range body that can observe
+// iteration order. The intraprocedural pass reports each directly;
+// determdeep uses the same classification to decide whether a helper
+// outside the deterministic packages taints its callers.
+type RangeLeak struct {
+	Pos token.Pos
+	Msg string
+}
+
+// RangeLeaks classifies every statement of one map-range body and
+// returns the ones that can observe iteration order.
+func RangeLeaks(info *types.Info, file *ast.File, rs *ast.RangeStmt) []RangeLeak {
+	c := &rangeChecker{info: info, file: file, rs: rs}
+	c.stmts(rs.Body.List)
+	return c.leaks
+}
+
 // checkMapRange classifies every statement of a map-range body and
 // reports the ones that can observe iteration order.
 func checkMapRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
-	c := &rangeChecker{pass: pass, file: file, rs: rs}
-	c.stmts(rs.Body.List)
+	for _, leak := range RangeLeaks(pass.TypesInfo, file, rs) {
+		pass.Reportf(leak.Pos, "%s", leak.Msg)
+	}
 }
 
 type rangeChecker struct {
-	pass *analysis.Pass
-	file *ast.File
-	rs   *ast.RangeStmt
+	info  *types.Info
+	file  *ast.File
+	rs    *ast.RangeStmt
+	leaks []RangeLeak
 }
 
 const fixHint = "iterate sorted keys instead"
 
-// report records one finding at pos.
+// report records one leak at pos.
 func (c *rangeChecker) report(pos token.Pos, format string, args ...interface{}) {
-	c.pass.Reportf(pos, format, args...)
+	c.leaks = append(c.leaks, RangeLeak{Pos: pos, Msg: fmt.Sprintf(format, args...)})
 }
 
 func (c *rangeChecker) stmts(list []ast.Stmt) {
@@ -181,7 +201,7 @@ func (c *rangeChecker) stmt(s ast.Stmt) {
 			return
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok {
-			if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+			if b, ok := c.info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
 				return
 			}
 		}
@@ -237,7 +257,7 @@ func (c *rangeChecker) assign(s *ast.AssignStmt) {
 			}
 			c.report(lhs.Pos(), "map iteration order can reach %q through this assignment (last writer wins); "+fixHint, l.Name)
 		case *ast.IndexExpr:
-			if c.pass.IsMap(l.X) {
+			if isMapType(c.info, l.X) {
 				continue // keyed map writes are order-independent
 			}
 			c.report(lhs.Pos(), "writing a slice slot from a map range captures iteration order; "+fixHint)
@@ -250,7 +270,7 @@ func (c *rangeChecker) assign(s *ast.AssignStmt) {
 // localTo reports whether the identifier's object is declared within
 // the node (the loop, including its key/value variables).
 func (c *rangeChecker) localTo(id *ast.Ident, n ast.Node) bool {
-	obj := c.pass.TypesInfo.ObjectOf(id)
+	obj := c.info.ObjectOf(id)
 	return obj != nil && obj.Pos() >= n.Pos() && obj.Pos() < n.End()
 }
 
@@ -266,14 +286,14 @@ func (c *rangeChecker) appendSorted(lhs *ast.Ident, rhs ast.Expr) bool {
 	if !ok {
 		return false
 	}
-	if b, ok := c.pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+	if b, ok := c.info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
 		return false
 	}
 	first, ok := call.Args[0].(*ast.Ident)
 	if !ok || first.Name != lhs.Name {
 		return false
 	}
-	obj := c.pass.TypesInfo.ObjectOf(lhs)
+	obj := c.info.ObjectOf(lhs)
 	if obj == nil {
 		return false
 	}
@@ -287,16 +307,49 @@ func (c *rangeChecker) appendSorted(lhs *ast.Ident, rhs ast.Expr) bool {
 		if !ok || sc.Pos() < c.rs.End() || len(sc.Args) == 0 {
 			return true
 		}
-		if _, ok := c.pass.CallTo(sc, "sort"); !ok {
-			if name, ok := c.pass.CallTo(sc, "slices"); !ok || len(name) < 4 || name[:4] != "Sort" {
+		if _, ok := callTo(c.info, sc, "sort"); !ok {
+			if name, ok := callTo(c.info, sc, "slices"); !ok || len(name) < 4 || name[:4] != "Sort" {
 				return true
 			}
 		}
 		arg, ok := sc.Args[0].(*ast.Ident)
-		if ok && c.pass.TypesInfo.ObjectOf(arg) == obj {
+		if ok && c.info.ObjectOf(arg) == obj {
 			sorted = true
 		}
 		return true
 	})
 	return sorted
+}
+
+// isMapType reports whether the expression's type is (or aliases) a
+// map — the info-level twin of Pass.IsMap, for use outside a Pass.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// callTo reports whether call invokes a function of the package with
+// import path pkgPath, returning the function name — the info-level
+// twin of Pass.CallTo.
+func callTo(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	if _, ok := info.Uses[sel.Sel].(*types.Func); !ok {
+		return "", false
+	}
+	return sel.Sel.Name, true
 }

@@ -1,0 +1,147 @@
+// Package frozendeep extends the frozenmachine contract into the
+// machine package itself. frozenmachine forbids writes through a
+// Machine from other packages syntactically; frozendeep asks the
+// stronger interprocedural question: which writes inside package
+// machine are reachable from an entry point that may run *after*
+// construction? A write is legitimate only while a constructor
+// (machine.New, machine.NewWithCalibration, ...) still owns the value;
+// once New returns, the Machine is shared by every concurrently
+// running experiment and any reachable write is a data race waiting
+// for the scheduler.
+//
+// The pass walks the call graph backwards from each write: starting at
+// the function containing the write, it visits callers transitively,
+// stopping at constructors (a path through New is construction-time
+// and excused). If the walk reaches an exported function or method
+// that is not a constructor, the write is post-construction-reachable
+// and reported at the write itself with the offending entry chain.
+// Unexported helpers reachable only from constructors stay clean.
+//
+// Deviations are suppressed at the write line with
+// `//p8:allow frozendeep: <why>`; a line already waived for the
+// intraprocedural pass (`//p8:allow frozenmachine: ...`) is honored
+// too.
+package frozendeep
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/tools/analyzers/analysis"
+	"repro/internal/tools/analyzers/frozenmachine"
+)
+
+// Analyzer is the frozendeep pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "frozendeep",
+	Doc:        "no write to machine.Machine is reachable from a post-construction entry point",
+	RunProgram: run,
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := pass.Prog.Graph()
+
+	// Reverse edges: rev[callee] lists the callers, in the graph's
+	// deterministic node/site order.
+	rev := make(map[*analysis.FuncNode][]*analysis.FuncNode)
+	for _, n := range g.Sorted {
+		for _, site := range n.Calls {
+			for _, callee := range site.Callees {
+				rev[callee] = append(rev[callee], n)
+			}
+		}
+	}
+
+	for _, n := range g.Sorted {
+		if n.Pkg.Types.Name() != "machine" || isConstructor(n) {
+			continue
+		}
+		for _, w := range machineWrites(pass.Prog, n) {
+			if entry, chain := postConstructionEntry(rev, n); entry != nil {
+				pass.Reportf(w,
+					"write to machine.Machine reachable after construction: %s assigns through the Machine and is reached by exported %s (entry chain %s); the Machine is frozen once New returns — build a new one instead",
+					n, entry, strings.Join(chain, " → "))
+			}
+		}
+	}
+	return nil
+}
+
+// isConstructor reports whether the node is construction-time code:
+// the New* constructors and package init, where writes into the
+// not-yet-published Machine are the whole point.
+func isConstructor(n *analysis.FuncNode) bool {
+	name := n.Func.Name()
+	return strings.HasPrefix(name, "New") || name == "init"
+}
+
+// machineWrites returns the positions of assignments through a Machine
+// in the node's body, skipping lines already waived for either the
+// deep or the intraprocedural analyzer.
+func machineWrites(prog *analysis.Program, n *analysis.FuncNode) []token.Pos {
+	if n.Decl == nil || n.Decl.Body == nil {
+		return nil
+	}
+	info := n.Pkg.Info
+	var writes []token.Pos
+	record := func(lhs ast.Expr) {
+		if frozenmachine.MachineRoot(info, lhs) == nil {
+			return
+		}
+		if prog.Allowed("frozendeep", lhs.Pos()) || prog.Allowed("frozenmachine", lhs.Pos()) {
+			return
+		}
+		writes = append(writes, lhs.Pos())
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(node.X)
+		}
+		return true
+	})
+	return writes
+}
+
+// postConstructionEntry walks callers backwards from the writing
+// function. It returns the first exported non-constructor function the
+// walk reaches, with the call chain from that entry down to the
+// writer, or nil if every path into the writer passes through a
+// constructor.
+func postConstructionEntry(rev map[*analysis.FuncNode][]*analysis.FuncNode, w *analysis.FuncNode) (*analysis.FuncNode, []string) {
+	// parent[n] records how the BFS reached n (i.e. n's callee on the
+	// discovered path toward w).
+	parent := map[*analysis.FuncNode]*analysis.FuncNode{w: nil}
+	queue := []*analysis.FuncNode{w}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if ast.IsExported(n.Func.Name()) {
+			return n, chainFrom(parent, n)
+		}
+		for _, caller := range rev[n] {
+			if _, seen := parent[caller]; seen || isConstructor(caller) {
+				continue
+			}
+			parent[caller] = n
+			queue = append(queue, caller)
+		}
+	}
+	return nil, nil
+}
+
+// chainFrom renders the entry→writer path recorded by the BFS parent
+// map.
+func chainFrom(parent map[*analysis.FuncNode]*analysis.FuncNode, entry *analysis.FuncNode) []string {
+	var chain []string
+	for n := entry; n != nil; n = parent[n] {
+		chain = append(chain, fmt.Sprintf("%s", n))
+	}
+	return chain
+}

@@ -1,0 +1,12 @@
+package frozendeep_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/frozendeep"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", frozendeep.Analyzer, "machine")
+}

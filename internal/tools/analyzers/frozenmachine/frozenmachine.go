@@ -47,7 +47,7 @@ func run(pass *analysis.Pass) error {
 // checkWrite reports when an assignment target is reached through a
 // Machine owned by another package.
 func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
-	root := machineRoot(pass, lhs)
+	root := MachineRoot(pass.TypesInfo, lhs)
 	if root == nil || samePackage(pass, root) {
 		return
 	}
@@ -55,9 +55,11 @@ func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
 		"write through machine.Machine: the machine is read-only after construction (shared by concurrent experiments); build a new Machine instead")
 }
 
-// machineRoot walks the selector/index chain of an expression and
-// returns the Machine type it passes through, or nil.
-func machineRoot(pass *analysis.Pass, e ast.Expr) *types.Named {
+// MachineRoot walks the selector/index chain of an expression and
+// returns the Machine type it passes through, or nil. Exported for
+// frozendeep, which applies the same write detection inside the
+// machine package itself.
+func MachineRoot(info *types.Info, e ast.Expr) *types.Named {
 	for {
 		var inner ast.Expr
 		switch x := e.(type) {
@@ -72,15 +74,15 @@ func machineRoot(pass *analysis.Pass, e ast.Expr) *types.Named {
 		default:
 			return nil
 		}
-		if named := asMachine(pass.TypeOf(inner)); named != nil {
+		if named := AsMachine(info.TypeOf(inner)); named != nil {
 			return named
 		}
 		e = inner
 	}
 }
 
-// asMachine returns the named machine.Machine type behind t, or nil.
-func asMachine(t types.Type) *types.Named {
+// AsMachine returns the named machine.Machine type behind t, or nil.
+func AsMachine(t types.Type) *types.Named {
 	for {
 		switch tt := t.(type) {
 		case *types.Pointer:
@@ -110,7 +112,7 @@ func checkLiteral(pass *analysis.Pass, lit *ast.CompositeLit) {
 	if lit.Type == nil {
 		return
 	}
-	named := asMachine(pass.TypeOf(lit.Type))
+	named := AsMachine(pass.TypeOf(lit.Type))
 	if named == nil || samePackage(pass, named) {
 		return
 	}

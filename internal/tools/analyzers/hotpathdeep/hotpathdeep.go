@@ -1,0 +1,258 @@
+// Package hotpathdeep extends the hotpath discipline across the call
+// graph: the full static call closure of every function annotated
+// //p8:hotpath must satisfy the same rules the intraprocedural hotpath
+// pass enforces on the annotated body itself. A hot function that
+// calls a helper which allocates through fmt, reads a wall clock,
+// takes a lock, ranges over a map or builds a capturing closure passes
+// the per-function pass clean today — this pass walks the helper
+// chain and reports the offense together with the call chain that
+// reaches it.
+//
+// Rules, per function in the closure of an annotated root:
+//
+//   - calls into fmt, sync (locks block and their slow path
+//     allocates), math/rand, and the wall-clock surface of time are
+//     banned. sync/atomic — which the intraprocedural pass bans inside
+//     annotated bodies — is allowed in callees: the "accumulate in
+//     plain fields, flush at the end" idiom that rule enforces flushes
+//     into atomic obs counters and the cross-shard event Budget, and
+//     those helpers are atomic by design;
+//   - ranging over a map and closures that capture enclosing
+//     variables are banned;
+//   - a call through a function value anywhere in the closure
+//     (including the annotated root) is reported at the call site:
+//     the callee is statically unbounded, so the closure guarantee
+//     cannot be proven past it — keep hot dispatch direct or justify
+//     the site.
+//
+// Interface dispatch is expanded conservatively to every satisfying
+// method in the load set (see the analysis package's call-graph
+// rules), so a violation behind an interface still surfaces.
+//
+// Offenses inside the annotated body itself are left to the
+// intraprocedural hotpath pass; this pass reports only what that one
+// cannot see. A leaf already waived with `//p8:allow hotpath` (or
+// `//p8:allow hotpathdeep`) on the offending line is honored here too
+// — a justified deviation must not resurface as a chain finding.
+// Chain findings anchor at the call site inside the annotated
+// function, so a deliberate exception is suppressed where the hot
+// code commits to it: `//p8:allow hotpathdeep: <why>`.
+package hotpathdeep
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analyzers/analysis"
+	"repro/internal/tools/analyzers/hotpath"
+)
+
+// Analyzer is the hotpathdeep pass.
+var Analyzer = &analysis.Analyzer{
+	Name:       "hotpathdeep",
+	Doc:        "the full static call closure of every //p8:hotpath function must obey the hot-path rules; diagnostics carry the offending call chain",
+	RunProgram: run,
+}
+
+// wallClock is the banned wall-clock surface of package time.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// bannedExtern classifies a call leaf outside the load set; it returns
+// a short description of the offense, or "".
+func bannedExtern(path, name string) string {
+	switch path {
+	case "fmt":
+		return "calls fmt." + name + " (allocates)"
+	case "time":
+		if wallClock[name] {
+			return "reads the wall clock (time." + name + ")"
+		}
+	case "sync":
+		return "uses sync." + name + " (blocking; the slow path allocates)"
+	// sync/atomic is deliberately NOT banned in callees: the
+	// intraprocedural hotpath pass already keeps atomics out of
+	// annotated bodies ("accumulate in plain fields, flush at the
+	// end"), and the flush targets those bodies call — obs counters,
+	// the cross-shard event Budget — are atomic by design and by
+	// benchmark. Banning the leaf would outlaw the sanctioned idiom.
+	case "math/rand", "math/rand/v2":
+		return "uses math/rand." + name
+	}
+	return ""
+}
+
+// A step is one BFS discovery: the node plus the edge that found it.
+type step struct {
+	node   *analysis.FuncNode
+	parent *step
+	site   *analysis.CallSite // edge from parent.node into node
+}
+
+// chain renders root → ... → leaf for diagnostics.
+func (s *step) chain() string {
+	var names []string
+	for at := s; at != nil; at = at.parent {
+		names = append(names, at.node.String())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}
+
+// anchor returns the depth-1 call site: the call inside the annotated
+// root that starts this chain. For the root itself it returns nil.
+func (s *step) anchor() *analysis.CallSite {
+	var last *step
+	for at := s; at.parent != nil; at = at.parent {
+		last = at
+	}
+	if last == nil {
+		return nil
+	}
+	return last.site
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := pass.Prog.Graph()
+	dynReported := map[token.Pos]bool{}
+	for _, root := range g.Sorted {
+		if !annotated(root.Decl) {
+			continue
+		}
+		check(pass, g, root, dynReported)
+	}
+	return nil
+}
+
+// annotated reports whether the declaration's doc comment carries the
+// //p8:hotpath directive on a line of its own.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotpath.Directive || strings.HasPrefix(c.Text, hotpath.Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// check walks the closure of one annotated root breadth-first and
+// reports offenses with their chains.
+func check(pass *analysis.ProgramPass, g *analysis.CallGraph, root *analysis.FuncNode, dynReported map[token.Pos]bool) {
+	visited := map[*analysis.FuncNode]bool{root: true}
+	queue := []*step{{node: root}}
+	// One finding per (anchor site, offending function): the first
+	// offense is representative; a fixed helper clears its siblings.
+	reported := map[[2]token.Pos]bool{}
+	for len(queue) > 0 {
+		at := queue[0]
+		queue = queue[1:]
+		if at.parent != nil { // the root's own body belongs to hotpath
+			reportOffenses(pass, at, reported)
+		}
+		for _, site := range at.node.Calls {
+			if site.Dynamic {
+				if !dynReported[site.Pos()] && !allowedLeaf(pass.Prog, site.Pos()) {
+					dynReported[site.Pos()] = true
+					pass.Reportf(site.Pos(),
+						"hot closure of %s calls through a function value; the callee is statically unbounded, so the hot-path guarantee stops here — dispatch directly or justify the site",
+						root.String())
+				}
+				continue
+			}
+			for _, callee := range site.Callees {
+				if visited[callee] {
+					continue
+				}
+				visited[callee] = true
+				queue = append(queue, &step{node: callee, parent: at, site: site})
+			}
+		}
+	}
+}
+
+// allowedLeaf reports whether either the hotpath or the hotpathdeep
+// analyzer has been waived on the offending line.
+func allowedLeaf(prog *analysis.Program, pos token.Pos) bool {
+	return prog.Allowed("hotpath", pos) || prog.Allowed("hotpathdeep", pos)
+}
+
+// reportOffenses scans one closure member for hot-path violations and
+// reports each at the chain's anchor call inside the annotated root.
+func reportOffenses(pass *analysis.ProgramPass, at *step, reported map[[2]token.Pos]bool) {
+	anchor := at.anchor()
+	report := func(pos token.Pos, what string) {
+		if allowedLeaf(pass.Prog, pos) {
+			return
+		}
+		key := [2]token.Pos{anchor.Pos(), at.node.Decl.Pos()}
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		p := pass.Prog.Fset.Position(pos)
+		pass.Reportf(anchor.Pos(), "hot call chain %s: %s %s at %s:%d",
+			at.chain(), at.node.String(), what, p.Filename, p.Line)
+	}
+
+	for _, site := range at.node.Calls {
+		if site.ExternName == "" {
+			continue
+		}
+		if what := bannedExtern(site.ExternPath, site.ExternName); what != "" {
+			report(site.Pos(), what)
+		}
+	}
+	node := at.node
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					report(n.Pos(), "ranges over a map (iteration order is randomized)")
+				}
+			}
+		case *ast.FuncLit:
+			if name, ok := captures(info, node.Decl, n); ok {
+				report(n.Pos(), "builds a closure capturing \""+name+"\" (may escape to the heap)")
+			}
+		}
+		return true
+	})
+}
+
+// captures reports whether the closure references a variable declared
+// in the enclosing function but outside the closure itself (the same
+// rule as the intraprocedural hotpath pass).
+func captures(info *types.Info, fd *ast.FuncDecl, fl *ast.FuncLit) (string, bool) {
+	var name string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= fd.Pos() && pos < fd.End() && !(pos >= fl.Pos() && pos < fl.End()) {
+			name = id.Name
+		}
+		return true
+	})
+	return name, name != ""
+}

@@ -1,0 +1,12 @@
+package hotpathdeep_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/hotpathdeep"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathdeep.Analyzer, "deep")
+}

@@ -1,0 +1,125 @@
+package servicecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// GoLeak is the goroutine-shape pass: every `go` statement in the
+// service layer must have a visible way to stop. A goroutine whose
+// body loops must be woken or terminated by something the analyzer can
+// see — a channel receive (including range-over-channel and select)
+// or a WaitGroup handshake — or it outlives Shutdown and leaks.
+// Straight-line goroutines are bounded and always pass. The spawned
+// callee is resolved one level through the call graph, so both
+// `go func() {...}()` and `go s.worker()` are judged by their bodies;
+// a `go` on a function value cannot be judged at all and is reported.
+var GoLeak = &analysis.Analyzer{
+	Name:       "goleak",
+	Doc:        "every goroutine in the service layer has a visible shutdown or drain path",
+	RunProgram: runGoLeak,
+}
+
+func runGoLeak(pass *analysis.ProgramPass) error {
+	g := pass.Prog.Graph()
+	for _, n := range g.Sorted {
+		if !inScope(n.Pkg) || n.Decl.Body == nil {
+			continue
+		}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if gs, ok := node.(*ast.GoStmt); ok {
+				checkGo(pass, g, n, gs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGo judges one go statement.
+func checkGo(pass *analysis.ProgramPass, g *analysis.CallGraph, n *analysis.FuncNode, gs *ast.GoStmt) {
+	body, info := goBody(g, n, gs)
+	if body == nil {
+		pass.Reportf(gs.Pos(),
+			"goroutine body is a function value: no shutdown path is visible statically; spawn a named function or a literal so the drain path can be checked")
+		return
+	}
+	shape := classify(info, body)
+	if shape.loops && !shape.signaled {
+		pass.Reportf(gs.Pos(),
+			"goroutine loops with no visible shutdown signal (no channel receive, select, or WaitGroup handshake): it outlives Shutdown and leaks; range over a closable channel or watch a done channel")
+	}
+}
+
+// goBody resolves the spawned body: a literal's own block, or the
+// single static callee's declaration (one level — the callee's own
+// calls are not chased; a drain path should be visible at the top of
+// the goroutine, not three frames down).
+func goBody(g *analysis.CallGraph, n *analysis.FuncNode, gs *ast.GoStmt) (*ast.BlockStmt, *types.Info) {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, n.Pkg.Info
+	}
+	site := g.Site(gs.Call)
+	if site == nil || site.Dynamic || len(site.Callees) != 1 {
+		return nil, nil
+	}
+	callee := site.Callees[0]
+	if callee.Decl == nil || callee.Decl.Body == nil {
+		return nil, nil
+	}
+	return callee.Decl.Body, callee.Pkg.Info
+}
+
+// goShape is what the classifier found in a goroutine body.
+type goShape struct {
+	// loops: the body contains a for or range statement — it may run
+	// forever.
+	loops bool
+	// signaled: the body contains something that can stop or pace it —
+	// a channel receive, a range over a channel, a select, or a
+	// WaitGroup Done/Wait handshake.
+	signaled bool
+}
+
+// classify scans a goroutine body for loop and signal shapes. Nested
+// literals are skipped: a closure the goroutine merely builds does not
+// drain it.
+func classify(info *types.Info, body *ast.BlockStmt) goShape {
+	var shape goShape
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			shape.loops = true
+		case *ast.RangeStmt:
+			shape.loops = true
+			if t := info.TypeOf(node.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					// range over a channel terminates when the channel
+					// closes: the canonical worker drain.
+					shape.signaled = true
+				}
+			}
+		case *ast.SelectStmt:
+			shape.signaled = true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				shape.signaled = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Wait" {
+					if t := info.TypeOf(sel.X); t != nil && isSyncNamed(t, "WaitGroup") {
+						shape.signaled = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return shape
+}

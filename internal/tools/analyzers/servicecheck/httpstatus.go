@@ -1,0 +1,384 @@
+package servicecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// HTTPStatus is the handler status-discipline pass: every path through
+// an HTTP handler answers the request exactly once.
+var HTTPStatus = &analysis.Analyzer{
+	Name:       "httpstatus",
+	Doc:        "every HTTP handler path writes exactly one response",
+	RunProgram: runHTTPStatus,
+}
+
+func runHTTPStatus(pass *analysis.ProgramPass) error {
+	c := &statusChecker{
+		pass:    pass,
+		graph:   pass.Prog.Graph(),
+		answers: map[*analysis.FuncNode][]pstat{},
+	}
+	for _, n := range c.graph.Sorted {
+		if !inScope(n.Pkg) || n.Decl.Body == nil {
+			continue
+		}
+		if w := handlerWriter(n); w != nil {
+			c.checkHandler(n, w)
+		}
+	}
+	return nil
+}
+
+type statusChecker struct {
+	pass  *analysis.ProgramPass
+	graph *analysis.CallGraph
+	// answers memoizes, per function and parameter index, what the
+	// function definitely does through that parameter — directly
+	// (param.WriteHeader / param.Write) or by handing it to another
+	// summarized answerer. This is how writeJSON/writeErr count as "the
+	// handler answered". The status/answers split matters: a helper
+	// that sets a status must not run twice, a body-only writer may
+	// (that is what streaming is).
+	answers map[*analysis.FuncNode][]pstat
+}
+
+// pstat is the per-parameter answer summary.
+type pstat struct {
+	// answers: the response has definitely started (status or body).
+	answers bool
+	// status: an explicit WriteHeader definitely runs (directly or
+	// transitively), so a second invocation is a duplicate status line.
+	status bool
+}
+
+// hstate is the per-path response state of the straight-line handler
+// walk.
+type hstate struct {
+	// answered: on every path to here, a response has definitely been
+	// written (drives the double-answer check).
+	answered bool
+	// may: on some path to here, the writer has been touched in a way
+	// that could have answered — including handing it to an external
+	// function we cannot summarize (drives the silent-return check; the
+	// optimism keeps both checks free of false positives).
+	may bool
+	// terminated: every path through the simulated statements returned.
+	terminated bool
+}
+
+// checkHandler walks one handler body.
+func (c *statusChecker) checkHandler(n *analysis.FuncNode, w *types.Var) {
+	st := c.simBlock(n, w, n.Decl.Body.List, hstate{}, 0)
+	if !st.terminated && !st.may {
+		c.pass.Reportf(n.Decl.Body.Rbrace,
+			"handler %s can fall off the end without writing a response: the client hangs until it times out; write a status on every path", n)
+	}
+}
+
+// simBlock simulates a statement list. loop counts enclosing
+// for/range statements: a definite answer inside one runs once per
+// iteration.
+func (c *statusChecker) simBlock(n *analysis.FuncNode, w *types.Var, stmts []ast.Stmt, st hstate, loop int) hstate {
+	for _, s := range stmts {
+		if st.terminated {
+			return st
+		}
+		st = c.simStmt(n, w, s, st, loop)
+	}
+	return st
+}
+
+func (c *statusChecker) simStmt(n *analysis.FuncNode, w *types.Var, s ast.Stmt, st hstate, loop int) hstate {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		st = c.scan(n, w, s, st, loop)
+		if !st.may {
+			c.pass.Reportf(s.Pos(),
+				"handler %s returns without writing a response on this path: the client hangs until it times out; write a status (writeErr, writeJSON, WriteHeader) before returning", n)
+		}
+		st.terminated = true
+		return st
+	case *ast.BlockStmt:
+		return c.simBlock(n, w, s.List, st, loop)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = c.scan(n, w, s.Init, st, loop)
+		}
+		st = c.scanExpr(n, w, s.Cond, st, loop)
+		then := c.simBlock(n, w, s.Body.List, st, loop)
+		els := st // no else: fallthrough keeps the entry state
+		if s.Else != nil {
+			els = c.simStmt(n, w, s.Else, st, loop)
+		}
+		return merge(then, els)
+	case *ast.ForStmt, *ast.RangeStmt:
+		var body *ast.BlockStmt
+		if f, ok := s.(*ast.ForStmt); ok {
+			body = f.Body
+		} else {
+			body = s.(*ast.RangeStmt).Body
+		}
+		after := c.simBlock(n, w, body.List, st, loop+1)
+		// The loop may run zero times: definite answers inside it do not
+		// carry out, possible ones do.
+		st.may = st.may || after.may
+		return st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.simClauses(n, w, s, st, loop)
+	case *ast.DeferStmt:
+		// A deferred call runs at return; it can answer (may) but never
+		// counts as already-answered at any particular point.
+		tmp := c.scanExpr(n, w, s.Call, hstate{}, loop)
+		st.may = st.may || tmp.may || tmp.answered
+		return st
+	case *ast.GoStmt:
+		// A goroutine answering the request is its own problem; it does
+		// not change this path's state.
+		return st
+	default:
+		return c.scan(n, w, s, st, loop)
+	}
+}
+
+// simClauses simulates switch/type-switch/select: each clause from the
+// entry state, merged.
+func (c *statusChecker) simClauses(n *analysis.FuncNode, w *types.Var, s ast.Stmt, st hstate, loop int) hstate {
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = c.scan(n, w, s.Init, st, loop)
+		}
+		if s.Tag != nil {
+			st = c.scanExpr(n, w, s.Tag, st, loop)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	if len(clauses) == 0 {
+		return st
+	}
+	covered := false
+	var out hstate
+	first := true
+	for _, clause := range clauses {
+		var body []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			body = cl.Body
+			if cl.List == nil {
+				covered = true
+			}
+		case *ast.CommClause:
+			body = cl.Body
+			covered = true // a select runs exactly one of its clauses
+		}
+		cst := c.simBlock(n, w, body, st, loop)
+		if first {
+			out, first = cst, false
+		} else {
+			out = merge(out, cst)
+		}
+	}
+	if !covered {
+		// A switch without default may skip every clause: the entry
+		// state is one more way out.
+		out = merge(out, st)
+	}
+	return out
+}
+
+// merge joins two branch exits. A terminated branch already answered
+// for itself (its returns were checked as they were simulated), so the
+// join point carries only the surviving branch's state — leaking a
+// terminated error-path's "answered" into the fallthrough would hide a
+// silent path after it.
+func merge(a, b hstate) hstate {
+	switch {
+	case a.terminated && b.terminated:
+		return hstate{answered: true, may: true, terminated: true}
+	case a.terminated:
+		return b
+	case b.terminated:
+		return a
+	default:
+		return hstate{answered: a.answered && b.answered, may: a.may || b.may}
+	}
+}
+
+// scan applies every response event inside an arbitrary statement, in
+// source order.
+func (c *statusChecker) scan(n *analysis.FuncNode, w *types.Var, s ast.Stmt, st hstate, loop int) hstate {
+	ast.Inspect(s, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false // runs later (or never); not this path
+		case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if node != s {
+				return false // structured statements are simulated, not scanned
+			}
+		case *ast.CallExpr:
+			st = c.event(n, w, node, st, loop)
+		}
+		return true
+	})
+	return st
+}
+
+// scanExpr applies response events inside one expression.
+func (c *statusChecker) scanExpr(n *analysis.FuncNode, w *types.Var, e ast.Expr, st hstate, loop int) hstate {
+	ast.Inspect(e, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok {
+			st = c.event(n, w, call, st, loop)
+		}
+		return true
+	})
+	return st
+}
+
+// event classifies one call against the writer and updates the state.
+// Status events (WriteHeader, or a helper that definitely calls it)
+// must happen exactly once; body events (Write, body-only helpers)
+// start the response but may repeat — that is what streaming is.
+func (c *statusChecker) event(n *analysis.FuncNode, w *types.Var, call *ast.CallExpr, st hstate, loop int) hstate {
+	info := n.Pkg.Info
+	var ev pstat
+	touched := false
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && usesVar(info, sel.X, w) {
+		switch sel.Sel.Name {
+		case "WriteHeader":
+			ev = pstat{answers: true, status: true}
+		case "Write":
+			ev = pstat{answers: true}
+		case "Header":
+			// w.Header().Set(...) prepares the response, never sends it.
+		default:
+			touched = true
+		}
+	}
+	if !ev.answers {
+		for i, arg := range call.Args {
+			if !usesVar(info, arg, w) {
+				continue
+			}
+			touched = true
+			if callee := c.staticCallee(call); callee != nil {
+				s := c.summaryAt(callee, c.argParam(callee, call, i))
+				ev.answers = ev.answers || s.answers
+				ev.status = ev.status || s.status
+			}
+		}
+	}
+
+	switch {
+	case ev.status:
+		if st.answered {
+			c.pass.Reportf(call.Pos(),
+				"handler %s writes a second status here: the response already started (net/http drops this status and logs); make the paths exclusive", n)
+		} else if loop > 0 {
+			c.pass.Reportf(call.Pos(),
+				"handler %s writes the response status inside a loop: the second iteration is a duplicate WriteHeader; hoist it out", n)
+		}
+		st.answered = true
+		st.may = true
+	case ev.answers:
+		// A body write implies the status on first use and is a legal
+		// continuation afterwards.
+		st.answered = true
+		st.may = true
+	case touched:
+		st.may = true
+	}
+	return st
+}
+
+// staticCallee returns the single in-graph static callee of a call,
+// or nil (extern, dynamic, interface dispatch).
+func (c *statusChecker) staticCallee(call *ast.CallExpr) *analysis.FuncNode {
+	site := c.graph.Site(call)
+	if site == nil || site.Dynamic || site.Interface != nil || len(site.Callees) != 1 {
+		return nil
+	}
+	return site.Callees[0]
+}
+
+// argParam maps an argument index onto the callee's parameter index
+// (identical for plain functions and for methods, whose receiver is
+// not among call.Args).
+func (c *statusChecker) argParam(callee *analysis.FuncNode, call *ast.CallExpr, argIdx int) int {
+	sig := callee.Func.Type().(*types.Signature)
+	if argIdx >= sig.Params().Len() {
+		return sig.Params().Len() - 1 // variadic tail
+	}
+	return argIdx
+}
+
+// summaryAt returns fn's answer summary for its idx-th parameter.
+// Cycles read as "does not answer".
+func (c *statusChecker) summaryAt(fn *analysis.FuncNode, idx int) pstat {
+	if idx < 0 {
+		return pstat{}
+	}
+	summary, ok := c.answers[fn]
+	if !ok {
+		summary = c.summarize(fn)
+		c.answers[fn] = summary
+	}
+	if idx >= len(summary) {
+		return pstat{}
+	}
+	return summary[idx]
+}
+
+// summarize computes the answer summary for one function.
+func (c *statusChecker) summarize(fn *analysis.FuncNode) []pstat {
+	sig := fn.Func.Type().(*types.Signature)
+	summary := make([]pstat, sig.Params().Len())
+	c.answers[fn] = summary // pre-mark: recursion reads all-false
+	if fn.Decl == nil || fn.Decl.Body == nil {
+		return summary
+	}
+	info := fn.Pkg.Info
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if !isHTTPNamed(p.Type(), "ResponseWriter") {
+			continue
+		}
+		ast.Inspect(fn.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && usesVar(info, sel.X, p) {
+				switch sel.Sel.Name {
+				case "WriteHeader":
+					summary[i].answers, summary[i].status = true, true
+				case "Write":
+					summary[i].answers = true
+				}
+			}
+			for j, arg := range call.Args {
+				if usesVar(info, arg, p) {
+					if callee := c.staticCallee(call); callee != nil {
+						s := c.summaryAt(callee, c.argParam(callee, call, j))
+						summary[i].answers = summary[i].answers || s.answers
+						summary[i].status = summary[i].status || s.status
+					}
+				}
+			}
+			return true
+		})
+	}
+	return summary
+}

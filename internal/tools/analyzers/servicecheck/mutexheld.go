@@ -1,0 +1,365 @@
+package servicecheck
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// MutexHeld is the lock-hygiene pass: while a sync.Mutex/RWMutex is
+// held, nothing on the path may block — no channel send or receive, no
+// select without a default, no WaitGroup.Wait, no time.Sleep, and no
+// call to a helper that does any of those. A blocked holder of s.mu is
+// a blocked service: every handler and every worker queues behind it.
+var MutexHeld = &analysis.Analyzer{
+	Name:       "mutexheld",
+	Doc:        "no blocking operation while a mutex is held",
+	RunProgram: runMutexHeld,
+}
+
+func runMutexHeld(pass *analysis.ProgramPass) error {
+	c := &mutexChecker{
+		pass:   pass,
+		graph:  pass.Prog.Graph(),
+		blocks: map[*analysis.FuncNode]bool{},
+	}
+	for _, n := range c.graph.Sorted {
+		if !inScope(n.Pkg) || n.Decl.Body == nil {
+			continue
+		}
+		c.checkFunc(n)
+	}
+	return nil
+}
+
+type mutexChecker struct {
+	pass  *analysis.ProgramPass
+	graph *analysis.CallGraph
+	// blocks memoizes "this function's body may block" (channel ops,
+	// bare selects, Wait, Sleep — transitively through static calls).
+	// Cycles read as non-blocking.
+	blocks map[*analysis.FuncNode]bool
+}
+
+// held is the set of mutexes locked on the current path, keyed by the
+// rendered selector chain ("s.mu", "job.mu").
+type held map[string]token.Pos
+
+func (h held) clone() held {
+	out := make(held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// any returns a deterministic representative held mutex for the
+// diagnostic (the lexically smallest name).
+func (h held) any() string {
+	name := ""
+	for k := range h {
+		if name == "" || k < name {
+			name = k
+		}
+	}
+	return name
+}
+
+func (c *mutexChecker) checkFunc(n *analysis.FuncNode) {
+	c.simBlock(n, n.Decl.Body.List, held{})
+}
+
+// simBlock walks a statement list tracking the held set. Branch bodies
+// are simulated with a copy: a Lock/Unlock inside one branch does not
+// alter the state after the join (the repo's lock regions are
+// straight-line; an unbalanced branch is its own smell the region
+// tracking deliberately does not chase).
+func (c *mutexChecker) simBlock(n *analysis.FuncNode, stmts []ast.Stmt, h held) held {
+	for _, s := range stmts {
+		h = c.simStmt(n, s, h)
+	}
+	return h
+}
+
+func (c *mutexChecker) simStmt(n *analysis.FuncNode, s ast.Stmt, h held) held {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if name, locked := c.lockEvent(n, s.X); name != "" {
+			if locked {
+				h = h.clone()
+				h[name] = s.Pos()
+			} else {
+				h = h.clone()
+				delete(h, name)
+			}
+			return h
+		}
+		c.scanBlocking(n, s, h)
+		return h
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the mutex held to the end of the
+		// function, which is exactly what the held set already says, so
+		// there is nothing to do; any other deferred call runs after the
+		// region and is not scanned.
+		return h
+	case *ast.BlockStmt:
+		return c.simBlock(n, s.List, h)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.scanBlocking(n, s.Init, h)
+		}
+		c.scanBlockingExpr(n, s.Cond, h)
+		c.simBlock(n, s.Body.List, h.clone())
+		if s.Else != nil {
+			c.simStmt(n, s.Else, h.clone())
+		}
+		return h
+	case *ast.ForStmt:
+		return c.simLoop(n, s.Init, s.Cond, s.Body, h)
+	case *ast.RangeStmt:
+		c.scanBlockingExpr(n, s.X, h)
+		c.simBlock(n, s.Body.List, h.clone())
+		return h
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.scanBlocking(n, s.Init, h)
+		}
+		c.scanBlockingExpr(n, s.Tag, h)
+		c.simClauses(n, s.Body, h)
+		return h
+	case *ast.TypeSwitchStmt:
+		c.simClauses(n, s.Body, h)
+		return h
+	case *ast.SelectStmt:
+		c.selectStmt(n, s, h)
+		return h
+	case *ast.GoStmt:
+		// The spawned goroutine does not run under the caller's lock;
+		// goleak owns its body.
+		return h
+	default:
+		c.scanBlocking(n, s, h)
+		return h
+	}
+}
+
+// simClauses simulates switch clause bodies under the current held
+// set.
+func (c *mutexChecker) simClauses(n *analysis.FuncNode, body *ast.BlockStmt, h held) {
+	for _, clause := range body.List {
+		if cc, ok := clause.(*ast.CaseClause); ok {
+			c.simBlock(n, cc.Body, h.clone())
+		}
+	}
+}
+
+// simLoop simulates a for statement's body under the current held set.
+func (c *mutexChecker) simLoop(n *analysis.FuncNode, init ast.Stmt, cond ast.Expr, body *ast.BlockStmt, h held) held {
+	if init != nil {
+		c.scanBlocking(n, init, h)
+	}
+	if cond != nil {
+		c.scanBlockingExpr(n, cond, h)
+	}
+	// The body may Lock/Unlock wholly inside one iteration
+	// (handleStream's poll loop does); simulate it with its own copy.
+	c.simBlock(n, body.List, h.clone())
+	return h
+}
+
+// selectStmt handles the one select shape that is legal under a lock:
+// select with a default clause (the non-blocking try-send/try-receive
+// idiom the admission queue uses). A select without default parks the
+// goroutine with the lock held.
+func (c *mutexChecker) selectStmt(n *analysis.FuncNode, s *ast.SelectStmt, h held) {
+	if len(h) > 0 && !selectHasDefault(s) {
+		c.pass.Reportf(s.Pos(),
+			"select with no default while holding %s: the goroutine parks with the mutex held and every other taker queues behind it; move the select after Unlock or add a default", h.any())
+		// The clause bodies run with the lock still held; keep scanning
+		// them so a second offense inside is not masked.
+	}
+	for _, clause := range s.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		// The comm op itself is sanctioned by the default clause (or
+		// already reported above); the clause body still runs under the
+		// lock.
+		c.simBlock(n, comm.Body, h.clone())
+	}
+}
+
+// lockEvent classifies an expression statement as mu.Lock (true) or
+// mu.Unlock (false) on a sync mutex, returning the rendered mutex name
+// ("" when it is neither).
+func (c *mutexChecker) lockEvent(n *analysis.FuncNode, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := n.Pkg.Info.TypeOf(sel.X)
+	if t == nil || (!isSyncNamed(t, "Mutex") && !isSyncNamed(t, "RWMutex")) {
+		return "", false
+	}
+	name := renderChain(sel.X)
+	if name == "" {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return name, true
+	case "Unlock", "RUnlock":
+		return name, false
+	}
+	return "", false
+}
+
+// scanBlocking reports blocking operations inside a statement while
+// the held set is non-empty.
+func (c *mutexChecker) scanBlocking(n *analysis.FuncNode, s ast.Stmt, h held) {
+	if len(h) == 0 {
+		return
+	}
+	ast.Inspect(s, func(node ast.Node) bool {
+		return c.blockingNode(n, node, h)
+	})
+}
+
+// scanBlockingExpr is scanBlocking over an expression.
+func (c *mutexChecker) scanBlockingExpr(n *analysis.FuncNode, e ast.Expr, h held) {
+	if len(h) == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(node ast.Node) bool {
+		return c.blockingNode(n, node, h)
+	})
+}
+
+// blockingNode inspects one node under a held lock; it returns false
+// to stop descending (closures run later, not under this lock).
+func (c *mutexChecker) blockingNode(n *analysis.FuncNode, node ast.Node, h held) bool {
+	switch node := node.(type) {
+	case *ast.FuncLit:
+		return false
+	case *ast.SelectStmt:
+		c.selectStmt(n, node, h)
+		return false
+	case *ast.SendStmt:
+		c.pass.Reportf(node.Pos(),
+			"channel send while holding %s: a full (or unbuffered) channel parks the goroutine with the mutex held; use select-with-default or send after Unlock", h.any())
+	case *ast.UnaryExpr:
+		if node.Op == token.ARROW {
+			c.pass.Reportf(node.Pos(),
+				"channel receive while holding %s: the goroutine parks with the mutex held until someone sends; receive after Unlock", h.any())
+		}
+	case *ast.CallExpr:
+		c.blockingCall(n, node, h)
+	}
+	return true
+}
+
+// blockingCall reports calls that block: WaitGroup.Wait, time.Sleep,
+// and in-graph helpers whose bodies block.
+func (c *mutexChecker) blockingCall(n *analysis.FuncNode, call *ast.CallExpr, h held) {
+	info := n.Pkg.Info
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+		if t := info.TypeOf(sel.X); t != nil && isSyncNamed(t, "WaitGroup") {
+			c.pass.Reportf(call.Pos(),
+				"WaitGroup.Wait while holding %s: the waited-for goroutines may need the mutex to finish — classic deadlock; Wait after Unlock", h.any())
+			return
+		}
+	}
+	site := c.graph.Site(call)
+	if site == nil {
+		return
+	}
+	if site.ExternPath == "time" && site.ExternName == "Sleep" {
+		c.pass.Reportf(call.Pos(),
+			"time.Sleep while holding %s: every other taker queues for the duration; sleep after Unlock", h.any())
+		return
+	}
+	for _, callee := range site.Callees {
+		if c.bodyBlocks(callee) {
+			c.pass.Reportf(call.Pos(),
+				"call to %s while holding %s: its body blocks (channel op, bare select, Wait or Sleep); restructure so the blocking happens after Unlock", callee, h.any())
+			return
+		}
+	}
+}
+
+// bodyBlocks reports whether a function's body may block, looking
+// through static calls. Cycles read as non-blocking; sends and
+// receives sanctioned by select-with-default do not count.
+func (c *mutexChecker) bodyBlocks(fn *analysis.FuncNode) bool {
+	if v, ok := c.blocks[fn]; ok {
+		return v
+	}
+	c.blocks[fn] = false // pre-mark: recursion reads clean
+	if fn.Decl == nil || fn.Decl.Body == nil {
+		return false
+	}
+	blocked := false
+	var visit func(node ast.Node) bool
+	visit = func(node ast.Node) bool {
+		if blocked {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				blocked = true
+				return false
+			}
+			// Comm ops under a default are non-blocking; still look at
+			// the clause bodies.
+			for _, clause := range node.Body.List {
+				if comm, ok := clause.(*ast.CommClause); ok {
+					for _, s := range comm.Body {
+						ast.Inspect(s, visit)
+					}
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			blocked = true
+			return false
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				blocked = true
+				return false
+			}
+		case *ast.CallExpr:
+			info := fn.Pkg.Info
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if t := info.TypeOf(sel.X); t != nil && isSyncNamed(t, "WaitGroup") {
+					blocked = true
+					return false
+				}
+			}
+			if site := c.graph.Site(node); site != nil {
+				if site.ExternPath == "time" && site.ExternName == "Sleep" {
+					blocked = true
+					return false
+				}
+				for _, callee := range site.Callees {
+					if c.bodyBlocks(callee) {
+						blocked = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Decl.Body, visit)
+	c.blocks[fn] = blocked
+	return blocked
+}

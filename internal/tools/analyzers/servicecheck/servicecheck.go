@@ -1,0 +1,130 @@
+// Package servicecheck holds the service-layer concurrency analyzers:
+// the checks that keep internal/service and cmd/p8d honest about the
+// three ways a long-running HTTP daemon quietly rots.
+//
+//   - httpstatus: every handler path answers exactly once. A handler
+//     that returns without writing a response hangs the client; a
+//     handler that writes two statuses corrupts the wire (net/http
+//     logs "superfluous WriteHeader" and sends the first one).
+//   - mutexheld: nothing blocking happens while a mutex is held. A
+//     channel send, a bare select or a WaitGroup.Wait under s.mu turns
+//     every other request into a queue behind one stuck goroutine.
+//   - goleak: every `go` statement has a visible way to stop. A
+//     goroutine that loops without a channel receive, select or
+//     WaitGroup handshake outlives every shutdown path.
+//
+// The analyzers run only over service-shaped packages — packages named
+// "service" and the p8d command — because their rules are contracts of
+// that layer, not of the simulator (which has its own hotpath and
+// determinism passes). All three use the whole-program call graph:
+// httpstatus summarizes helpers that answer on a handler's behalf
+// (writeJSON and friends), mutexheld propagates "this callee blocks"
+// through static calls, and goleak resolves `go s.worker()` one level
+// to judge the worker's body.
+//
+// Deviations are suppressed per line with
+// `//p8:allow <httpstatus|mutexheld|goleak>: <why>`.
+package servicecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// inScope reports whether a package belongs to the service layer: the
+// service package itself or the p8d command.
+func inScope(pkg *analysis.Package) bool {
+	return pkg.Types.Name() == "service" || strings.HasSuffix(pkg.Path, "p8d")
+}
+
+// isHTTPNamed reports whether t is (a pointer to) the named type
+// http.<name>. Matching on the package *name* rather than the full
+// path keeps the golden tests hermetic: they use a small stub package
+// named http instead of source-importing all of net/http.
+func isHTTPNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "http" && obj.Name() == name
+}
+
+// isSyncNamed reports whether t is (a pointer to) sync.<name>.
+func isSyncNamed(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}
+
+// handlerWriter returns the http.ResponseWriter parameter object when
+// the node is an HTTP handler — func(w http.ResponseWriter, r
+// *http.Request) — and nil otherwise.
+func handlerWriter(n *analysis.FuncNode) *types.Var {
+	sig := n.Func.Type().(*types.Signature)
+	params := sig.Params()
+	if params.Len() != 2 {
+		return nil
+	}
+	w, r := params.At(0), params.At(1)
+	if !isHTTPNamed(w.Type(), "ResponseWriter") {
+		return nil
+	}
+	if _, ok := r.Type().(*types.Pointer); !ok || !isHTTPNamed(r.Type(), "Request") {
+		return nil
+	}
+	return w
+}
+
+// usesVar reports whether e is an identifier resolving to v.
+func usesVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.Uses[id] == v
+}
+
+// renderChain renders a selector chain (s.mu, job.mu, wg) as the
+// stable text used to match Lock against Unlock and to name the mutex
+// in diagnostics. Unrenderable shapes return "".
+func renderChain(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := renderChain(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return renderChain(e.X)
+	case *ast.StarExpr:
+		return renderChain(e.X)
+	}
+	return ""
+}
+
+// selectHasDefault reports whether the select statement has a default
+// clause (the non-blocking idiom).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if comm, ok := clause.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+package servicecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/servicecheck"
+)
+
+func TestHTTPStatusGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", servicecheck.HTTPStatus, "hstatus")
+}
+
+func TestMutexHeldGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", servicecheck.MutexHeld, "mheld")
+}
+
+func TestGoLeakGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", servicecheck.GoLeak, "gleak")
+}

@@ -1,0 +1,76 @@
+// Package service (golden) exercises the goleak analyzer: every
+// goroutine has a visible shutdown or drain path.
+package service
+
+import "sync"
+
+type pool struct {
+	jobs chan int
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Leak loops forever with nothing to stop it.
+func (p *pool) Leak() {
+	go func() { // want `goroutine loops with no visible shutdown signal`
+		for {
+			work()
+		}
+	}()
+}
+
+// StartWorker spawns a named method; the analyzer resolves it one
+// level and finds the canonical drain shape: range over a closable
+// channel plus the WaitGroup handshake.
+func (p *pool) StartWorker() {
+	p.wg.Add(1)
+	go p.worker()
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		_ = j
+	}
+}
+
+// Watch loops but selects on a stop channel — clean.
+func (p *pool) Watch() {
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case j := <-p.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// Fire is a bounded straight-line goroutine — clean.
+func (p *pool) Fire() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// Run spawns a function value: nothing to judge, which is itself the
+// finding.
+func (p *pool) Run(f func()) {
+	go f() // want `goroutine body is a function value`
+}
+
+// LeakWaived acknowledges its process-lifetime goroutine.
+func (p *pool) LeakWaived() {
+	go func() { //p8:allow goleak: metronome goroutine, process-lifetime by design
+		for {
+			work()
+		}
+	}()
+}
+
+func work() {}

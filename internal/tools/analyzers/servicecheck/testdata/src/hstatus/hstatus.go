@@ -1,0 +1,70 @@
+// Package service (golden) exercises the httpstatus analyzer: every
+// handler path answers exactly once.
+package service
+
+import "http"
+
+// writeJSON is the summarized helper: it answers on the handler's
+// behalf, so calling it counts as writing the response.
+func writeJSON(w http.ResponseWriter, code int, body string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write([]byte(body))
+}
+
+// writeErr answers through one more hop; the summary is transitive.
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, msg)
+}
+
+// HandleBranchy is the sanctioned shape: exactly one answer per path.
+func HandleBranchy(w http.ResponseWriter, r *http.Request) {
+	if r.PathValue("id") == "" {
+		writeErr(w, 400, "missing id")
+		return
+	}
+	writeJSON(w, 200, "ok")
+}
+
+// HandleSilent forgets to answer on the error path.
+func HandleSilent(w http.ResponseWriter, r *http.Request) {
+	if r.PathValue("id") == "" {
+		return // want `returns without writing a response`
+	}
+	writeJSON(w, 200, "ok")
+}
+
+// HandleFallOff never touches the writer at all.
+func HandleFallOff(w http.ResponseWriter, r *http.Request) {
+	_ = r.PathValue("id")
+} // want `fall off the end without writing a response`
+
+// HandleDouble answers twice in sequence; the second status is caught
+// through the helper summary, not just a literal WriteHeader.
+func HandleDouble(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, 404, "no such job")
+	writeJSON(w, 200, "ok") // want `writes a second status`
+}
+
+// HandleLoop hoists nothing: the status write repeats per iteration.
+func HandleLoop(w http.ResponseWriter, r *http.Request) {
+	for i := 0; i < 3; i++ {
+		w.WriteHeader(200) // want `writes the response status inside a loop`
+	}
+}
+
+// HandleStreamish is the streaming idiom: one status up front, then
+// body writes in the loop — clean, because body writes are legal
+// continuations of an answered response.
+func HandleStreamish(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(200)
+	for i := 0; i < 3; i++ {
+		_, _ = w.Write([]byte("line\n"))
+	}
+}
+
+// HandleWaived acknowledges its double write with an itemized allow.
+func HandleWaived(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, 200, "body")
+	writeJSON(w, 200, "trailer") //p8:allow httpstatus: trailer line after the body is this endpoint's framing
+}

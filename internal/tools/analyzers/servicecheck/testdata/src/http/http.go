@@ -1,0 +1,26 @@
+// Package http is a miniature stand-in for net/http: just enough
+// surface for the servicecheck goldens to type-check without
+// source-importing the real package and half the standard library
+// behind it. The analyzers match handler signatures by package *name*
+// ("http") and type name, so this stub exercises exactly the same
+// code paths as the real thing.
+package http
+
+// Header is the response header map.
+type Header map[string][]string
+
+// Set sets a header.
+func (h Header) Set(key, value string) { h[key] = []string{value} }
+
+// ResponseWriter mirrors net/http.ResponseWriter.
+type ResponseWriter interface {
+	Header() Header
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// Request mirrors the fields of net/http.Request the goldens touch.
+type Request struct{}
+
+// PathValue mirrors the 1.22 mux path-variable accessor.
+func (r *Request) PathValue(name string) string { return "" }

@@ -1,0 +1,90 @@
+// Package service (golden) exercises the mutexheld analyzer: nothing
+// blocking happens while a mutex is held.
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu    sync.Mutex
+	queue chan int
+	wg    sync.WaitGroup
+}
+
+// SendHeld parks on a full channel with the lock held.
+func (s *store) SendHeld(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue <- v // want `channel send while holding s\.mu`
+}
+
+// TrySend is the sanctioned admission idiom: select-with-default never
+// blocks.
+func (s *store) TrySend(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// ParkHeld parks in a bare select with the lock held.
+func (s *store) ParkHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select with no default while holding s\.mu`
+	case v := <-s.queue:
+		return v
+	}
+}
+
+// WaitHeld waits for goroutines that may need the mutex to finish.
+func (s *store) WaitHeld() {
+	s.mu.Lock()
+	s.wg.Wait() // want `WaitGroup\.Wait while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// SleepHeld stalls every other taker for the duration.
+func (s *store) SleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// RecvFree blocks only after the unlock — clean.
+func (s *store) RecvFree() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return <-s.queue
+}
+
+// CloseHeld is clean: close never blocks, and the one-mutex
+// close-the-queue-under-the-lock shutdown idiom depends on that.
+func (s *store) CloseHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	close(s.queue)
+}
+
+// drain blocks; DrainHeld inherits that through the summary.
+func (s *store) drain() int { return <-s.queue }
+
+// DrainHeld blocks two frames down.
+func (s *store) DrainHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drain() // want `call to \*service\.store\.drain while holding s\.mu`
+}
+
+// SendWaived acknowledges its send with an itemized allow.
+func (s *store) SendWaived(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue <- v //p8:allow mutexheld: the queue is sized to the worst case at construction; a blocked send is unreachable
+}
