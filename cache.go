@@ -133,6 +133,28 @@ func (sc *SuiteCache) ProbeReport(e Experiment, m *Machine, opts RunOptions) boo
 	return sc.reports.Peek(requestKey(m, e, opts))
 }
 
+// LoadReport fetches an already-computed report for experiment e on
+// machine m under opts from the cache (memory or disk) without ever
+// running the experiment. The boolean is false when the report is not
+// resident — absent, evicted, or failing validation. p8d recovery uses
+// LoadReport to re-serve reports for journal-replayed completed jobs;
+// a false return there means the report aged out of the cache and the
+// client must resubmit. Valid on a nil cache (always false).
+func (sc *SuiteCache) LoadReport(e Experiment, m *Machine, opts RunOptions) (*Report, bool) {
+	if sc == nil {
+		return nil, false
+	}
+	data, ok := sc.reports.GetBytes(requestKey(m, e, opts), checkReportBytes)
+	if !ok {
+		return nil, false
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, false
+	}
+	return &rep, true
+}
+
 // lookupOrRun serves one experiment through the report cache:
 // memory, then disk, then compute-and-store via the cache's
 // singleflight (concurrent identical requests — e.g. two warm services

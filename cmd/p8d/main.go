@@ -12,6 +12,17 @@
 //	p8d -nocache                 # recompute everything, always
 //	p8d -kernelworkers 8         # worker-team size inside host kernels
 //	p8d -grainfactor 16          # finer dynamic kernel chunks
+//	p8d -journal /var/p8djournal # durable jobs: crash recovery on boot
+//	p8d -fsync off               # journal without per-record fsync
+//
+// With -journal, every job lifecycle transition is written ahead to an
+// append-only CRC-framed log, and a restarted daemon replays it:
+// completed jobs stay listable with their reports served from the
+// -cachedir store (pair the two flags), admitted-but-unstarted jobs run
+// again, and jobs that were mid-run are retired as "interrupted".
+// -fsync always (the default) makes every 202 durable against power
+// loss; -fsync off trusts the OS page cache (process-crash-safe only)
+// and requires -journal. See API.md "Restart semantics".
 //
 // Submit a job, poll it, fetch its results:
 //
@@ -42,13 +53,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	power8 "repro"
+	"repro/internal/journal"
 	"repro/internal/parallel"
 	"repro/internal/service"
 )
@@ -66,10 +77,24 @@ func run() int {
 		kworkers = flag.Int("kernelworkers", 0, "worker-team size for the host kernels (0 = GOMAXPROCS)")
 		grainf   = flag.Int("grainfactor", 0, "dynamic-schedule chunks per worker (0 = default)")
 		waitcap  = flag.Duration("waitlimit", 60*time.Second, "upper bound on the ?wait long-poll parameter")
+		jdir     = flag.String("journal", "", "write-ahead job journal directory (enables crash recovery)")
+		fsyncStr = flag.String("fsync", "always", "journal fsync policy: always | off (off requires -journal)")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*queue, *jworkers, *cacheMB, *kworkers, *grainf); err != nil {
+		fmt.Fprintln(os.Stderr, "p8d:", err)
+		flag.Usage()
+		return 2
+	}
+	fsyncSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fsync" {
+			fsyncSet = true
+		}
+	})
+	syncPolicy, err := fsyncPolicy(*fsyncStr, fsyncSet, *jdir)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "p8d:", err)
 		flag.Usage()
 		return 2
@@ -97,16 +122,39 @@ func run() int {
 		}
 	}
 
+	var jnl *journal.Journal
+	var recovery journal.RecoveryInfo
+	if *jdir != "" {
+		var err error
+		jnl, recovery, err = journal.Open(*jdir, journal.Options{Sync: syncPolicy, Stats: root})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p8d: journal:", err)
+			return 2
+		}
+	}
+
 	svc := service.New(service.Options{
 		QueueDepth: *queue,
 		Workers:    *jworkers,
 		Cache:      cache,
 		Stats:      root,
 		WaitLimit:  *waitcap,
+		Journal:    jnl,
 	})
+	if jnl != nil {
+		sum := svc.Recover(recovery.Records)
+		fmt.Fprintf(os.Stderr, "p8d: journal %s: replayed %d records from %d segments (%s)\n",
+			*jdir, len(recovery.Records), recovery.Segments, sum)
+		if recovery.TornTail {
+			fmt.Fprintln(os.Stderr, "p8d: journal: torn tail truncated (expected after a crash)")
+		}
+		if recovery.CorruptStop {
+			fmt.Fprintln(os.Stderr, "p8d: journal: WARNING: corruption mid-log; replay stopped at the last trustworthy record")
+		}
+	}
 	svc.Start()
 
-	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	server := service.NewHTTPServer(*addr, svc.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
 
@@ -166,6 +214,22 @@ func validateFlags(queue, jworkers int, cacheMB int64, kworkers, grainf int) err
 		return fmt.Errorf("-grainfactor must be >= 0, got %d", grainf)
 	}
 	return nil
+}
+
+// fsyncPolicy resolves the -fsync flag. An explicit -fsync without
+// -journal is a configuration error (the policy governs nothing), and
+// an unknown policy name is too; both exit 2 via the caller.
+func fsyncPolicy(value string, explicit bool, journalDir string) (journal.SyncPolicy, error) {
+	if explicit && journalDir == "" {
+		return 0, fmt.Errorf("-fsync requires -journal (there is no journal to sync)")
+	}
+	switch value {
+	case "always":
+		return journal.SyncAlways, nil
+	case "off":
+		return journal.SyncNever, nil
+	}
+	return 0, fmt.Errorf("-fsync must be \"always\" or \"off\", got %q", value)
 }
 
 // cacheMode renders the cache configuration for the startup banner.

@@ -1,0 +1,167 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/iofault"
+)
+
+// TestCrashPointSweep is the central durability proof: for every write
+// operation n in a scripted job lifecycle, crash at exactly that write
+// (with every torn-tail length 0..4 of the attempted frame), restart on
+// the surviving bytes, and require
+//
+//  1. every record whose Append returned nil is replayed, and
+//  2. replay never reports corruption — a crash can tear the tail, but
+//     a torn tail is truncated, not trusted.
+//
+// The sweep covers crashes during segment creation, mid-frame, between
+// frames, and during rotation (the tiny segment cap forces several).
+func TestCrashPointSweep(t *testing.T) {
+	script := testRecords()
+	// Count the writes a clean run needs, then sweep one past it (the
+	// no-crash control).
+	clean := iofault.NewFaulty(iofault.NewMem())
+	cleanWrites := runScript(t, clean, script, nil)
+	if cleanWrites < len(script) {
+		t.Fatalf("clean run made only %d writes for %d records", cleanWrites, len(script))
+	}
+	for n := 0; n <= cleanWrites; n++ {
+		for _, torn := range []int{0, 1, 2, 3, 4} {
+			t.Run(fmt.Sprintf("crash-at-write-%d-torn-%d", n, torn), func(t *testing.T) {
+				mem := iofault.NewMem()
+				ffs := iofault.NewFaulty(mem, iofault.Fault{
+					Op: iofault.OpWrite, N: n, Kind: iofault.KindCrash, Arg: torn,
+				})
+				var acked []Record
+				runScript(t, ffs, script, &acked)
+
+				// "Restart": reopen over the crashed filesystem's
+				// surviving bytes.
+				_, info, err := Open("wal", Options{FS: mem})
+				if err != nil {
+					t.Fatalf("recovery failed: %v", err)
+				}
+				if info.CorruptStop {
+					t.Fatalf("crash at write %d (torn %d) produced corruption, not a torn tail", n, torn)
+				}
+				if len(info.Records) < len(acked) {
+					t.Fatalf("acked %d records but recovered %d", len(acked), len(info.Records))
+				}
+				for i, r := range acked {
+					if !recordsEqual(info.Records[i], r) {
+						t.Fatalf("acked record %d not replayed intact", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// runScript appends the script through a journal over ffs, collecting
+// every acknowledged record into acked (when non-nil), and returns the
+// number of write operations consumed. A crash mid-script stops it, as
+// the real process would stop.
+func runScript(t *testing.T, ffs *iofault.Faulty, script []Record, acked *[]Record) int {
+	t.Helper()
+	j, _, err := Open("wal", Options{FS: ffs, SegmentBytes: 128})
+	if err != nil {
+		if errors.Is(err, iofault.ErrCrashed) {
+			return writeCount(ffs)
+		}
+		t.Fatalf("open: %v", err)
+	}
+	for _, r := range script {
+		err := j.Append(r)
+		if err == nil {
+			if acked != nil {
+				*acked = append(*acked, r)
+			}
+			continue
+		}
+		if errors.Is(err, iofault.ErrCrashed) {
+			return writeCount(ffs)
+		}
+		// Non-crash append errors do not stop the service either.
+	}
+	if err := j.Close(); err != nil && !errors.Is(err, iofault.ErrCrashed) {
+		t.Fatalf("close: %v", err)
+	}
+	return writeCount(ffs)
+}
+
+// writeCount reads the injector's write-op counter.
+func writeCount(ffs *iofault.Faulty) int { return ffs.Ops(iofault.OpWrite) }
+
+// TestCrashDuringCompaction sweeps crash points across a compaction and
+// requires that recovery always sees either the old history or the new
+// one — never neither, never corruption.
+func TestCrashDuringCompaction(t *testing.T) {
+	script := testRecords()
+	compacted := []Record{
+		{Kind: KindSubmitted, JobID: "j2-deadbeef", Seq: 2, Request: []byte(`{}`)},
+		{Kind: KindInterrupted, JobID: "j2-deadbeef"},
+	}
+	for n := 0; n < 40; n++ {
+		t.Run(fmt.Sprintf("crash-at-write-%d", n), func(t *testing.T) {
+			mem := iofault.NewMem()
+			// Build a clean journal first (no faults while seeding).
+			j, _, err := Open("wal", Options{FS: mem, SegmentBytes: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range script {
+				if err := j.Append(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reopen through a crashing injector and compact.
+			ffs := iofault.NewFaulty(mem, iofault.Fault{
+				Op: iofault.OpWrite, N: n, Kind: iofault.KindCrash, Arg: 3,
+			})
+			j2, info, err := Open("wal", Options{FS: ffs, SegmentBytes: 128})
+			if err != nil {
+				if !errors.Is(err, iofault.ErrCrashed) {
+					t.Fatalf("open: %v", err)
+				}
+			} else {
+				if len(info.Records) != len(script) {
+					t.Fatalf("pre-compaction replay lost records: %d of %d", len(info.Records), len(script))
+				}
+				cerr := j2.Compact(compacted)
+				if cerr != nil && !errors.Is(cerr, iofault.ErrCrashed) {
+					t.Fatalf("compact: %v", cerr)
+				}
+			}
+
+			// Recovery after the crash: all of the old history must
+			// still reduce out, or all of the new.
+			_, after, err := Open("wal", Options{FS: mem})
+			if err != nil {
+				t.Fatalf("post-crash recovery: %v", err)
+			}
+			if after.CorruptStop {
+				t.Fatal("compaction crash produced corruption")
+			}
+			states := Reduce(after.Records)
+			switch len(states) {
+			case 2: // old history (possibly plus a replayed compaction copy)
+				if states[0].ID != "j1-aabbccdd" || states[1].ID != "j2-deadbeef" {
+					t.Fatalf("unexpected job set: %+v", states)
+				}
+			case 1: // new history only: old segments already deleted
+				if states[0].ID != "j2-deadbeef" || !states[0].Interrupted {
+					t.Fatalf("compacted-only state wrong: %+v", states[0])
+				}
+			default:
+				t.Fatalf("recovered %d jobs, want 1 (new) or 2 (old)", len(states))
+			}
+		})
+	}
+}

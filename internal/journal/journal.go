@@ -1,0 +1,448 @@
+// Package journal is p8d's write-ahead log: an append-only, CRC-framed,
+// fsync-disciplined record of job lifecycle transitions (submitted →
+// running → report-ready → done, plus the recovery-time interrupted
+// marker). The service appends a record before it acts on the
+// transition; recovery replays the log into the in-memory job table, so
+// a restarted daemon lists every job it ever acknowledged and never
+// re-runs one it completed.
+//
+// The log is a directory of numbered segment files
+// ("wal-%016d.log"). Each segment starts with an 8-byte magic and
+// continues with framed records (see record.go for the exact bytes).
+// The active segment rotates at a size threshold; Compact rewrites the
+// live state into a fresh segment and deletes everything older, only
+// after the fresh segment is durable. All file I/O goes through the
+// internal/iofault FS seam, which is how the crash-point sweep tests
+// prove the recovery invariants:
+//
+//   - every record whose Append returned nil under SyncAlways is
+//     replayed after a crash;
+//   - a torn tail (a crash mid-write) is truncated at the last intact
+//     frame, never trusted, never fatal;
+//   - corruption before the tail stops replay at the last trustworthy
+//     record rather than guessing.
+//
+// See DESIGN.md "Durability" for the full contract.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/iofault"
+	"repro/internal/obs"
+)
+
+// SyncPolicy says when Append pushes bytes to stable storage.
+type SyncPolicy uint8
+
+// The sync policies. SyncAlways is the durability contract the service
+// smoke tests assert; SyncNever exists for throwaway runs and tests
+// that want to observe data loss.
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record
+	// survives any later crash.
+	SyncAlways SyncPolicy = iota
+	// SyncNever never fsyncs; the OS flushes when it pleases. Records
+	// acknowledged under SyncNever may vanish in a crash.
+	SyncNever
+)
+
+// String renders the policy for flags and banners.
+func (p SyncPolicy) String() string {
+	if p == SyncNever {
+		return "off"
+	}
+	return "always"
+}
+
+// magic opens every segment file; a segment without it is not replayed.
+var magic = []byte("p8wal1\x00\n")
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem seam; nil means the real OS.
+	FS iofault.FS
+	// Sync is the append durability policy (default SyncAlways).
+	Sync SyncPolicy
+	// SegmentBytes rotates the active segment when it grows past this
+	// size; <= 0 means 4 MiB.
+	SegmentBytes int64
+	// Stats, when non-nil, receives counters under a "journal" child
+	// scope: appends, fsyncs, rotations, compactions, replay tallies
+	// and error counts.
+	Stats *obs.Registry
+}
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use; appends are serialized (that serialization is what
+// makes the crash-point sweeps exact).
+type Journal struct {
+	fsys   iofault.FS
+	dir    string
+	sync   SyncPolicy
+	segMax int64
+	scope  *obs.Registry
+
+	mu       sync.Mutex
+	seg      iofault.File
+	segSeq   uint64
+	segBytes int64
+	// broken marks an active segment that took a failed or partial
+	// write; the next append rotates away from it first, so one bad
+	// write cannot shadow later records behind a corrupt frame.
+	broken bool
+	closed bool
+}
+
+// RecoveryInfo summarizes what Open found on disk.
+type RecoveryInfo struct {
+	// Records is every intact record, in log order.
+	Records []Record
+	// TornTail is true when the final segment ended in a partial
+	// frame — the signature of a crash mid-append.
+	TornTail bool
+	// CorruptStop is true when replay stopped before the tail because
+	// a frame failed its CRC or decode; Records holds everything up to
+	// that point.
+	CorruptStop bool
+	// Segments is how many segment files were scanned.
+	Segments int
+}
+
+// Open opens (creating if needed) the journal in dir, replays every
+// intact record, and starts a fresh active segment. The returned
+// RecoveryInfo carries the replayed records; the caller (the service)
+// reduces them into its job table and then normally calls Compact with
+// the state it kept, which collapses history into one segment.
+func Open(dir string, opts Options) (*Journal, RecoveryInfo, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = iofault.OS{}
+	}
+	segMax := opts.SegmentBytes
+	if segMax <= 0 {
+		segMax = 4 << 20
+	}
+	j := &Journal{
+		fsys:   fsys,
+		dir:    dir,
+		sync:   opts.Sync,
+		segMax: segMax,
+		scope:  opts.Stats.Child("journal"),
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("journal: create dir: %w", err)
+	}
+	info, lastSeq, err := j.replay()
+	if err != nil {
+		return nil, RecoveryInfo{}, err
+	}
+	j.segSeq = lastSeq
+	if err := j.rotateLocked(); err != nil {
+		return nil, RecoveryInfo{}, fmt.Errorf("journal: open active segment: %w", err)
+	}
+	j.scope.Counter("replayed_records").Add(uint64(len(info.Records)))
+	if info.TornTail {
+		j.scope.Counter("torn_tails").Inc()
+	}
+	if info.CorruptStop {
+		j.scope.Counter("corrupt_stops").Inc()
+	}
+	return j, info, nil
+}
+
+// segName renders a segment file name; the fixed-width decimal keeps
+// lexical order equal to numeric order.
+func segName(seq uint64) string { return fmt.Sprintf("wal-%016d.log", seq) }
+
+// parseSegName inverts segName.
+func parseSegName(name string) (uint64, bool) {
+	var seq uint64
+	if _, err := fmt.Sscanf(name, "wal-%016d.log", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// replay scans every segment in order and decodes records until the
+// log ends or trust does.
+func (j *Journal) replay() (RecoveryInfo, uint64, error) {
+	names, err := j.fsys.ReadDir(j.dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return RecoveryInfo{}, 0, nil
+		}
+		return RecoveryInfo{}, 0, fmt.Errorf("journal: scan dir: %w", err)
+	}
+	var segs []uint64
+	for _, name := range names {
+		if seq, ok := parseSegName(name); ok {
+			segs = append(segs, seq)
+		}
+	}
+	info := RecoveryInfo{Segments: len(segs)}
+	var lastSeq uint64
+	for _, seq := range segs {
+		if seq > lastSeq {
+			lastSeq = seq
+		}
+		data, err := j.fsys.ReadFile(filepath.Join(j.dir, segName(seq)))
+		if err != nil {
+			return info, 0, fmt.Errorf("journal: read segment %d: %w", seq, err)
+		}
+		if len(data) < len(magic) {
+			// A header-less segment is a crash during segment
+			// creation; nothing was ever appended to it. Skip it.
+			info.TornTail = true
+			continue
+		}
+		if string(data[:len(magic)]) != string(magic) {
+			info.CorruptStop = true
+			break
+		}
+		data = data[len(magic):]
+		corrupt := false
+		for len(data) > 0 {
+			rec, n, err := DecodeRecord(data)
+			if err != nil {
+				if errors.Is(err, ErrTruncated) {
+					// A torn tail ends this segment, not the log:
+					// Append never writes after a partial frame in the
+					// same segment (it rotates away), so every later
+					// record lives in a later segment.
+					info.TornTail = true
+				} else {
+					info.CorruptStop = true
+					corrupt = true
+				}
+				break
+			}
+			info.Records = append(info.Records, rec)
+			data = data[n:]
+		}
+		if corrupt {
+			break
+		}
+	}
+	return info, lastSeq, nil
+}
+
+// rotateLocked closes the active segment (if any) and opens the next
+// one. Callers hold j.mu (or are inside Open, before the journal is
+// shared).
+func (j *Journal) rotateLocked() error {
+	if j.seg != nil {
+		if err := j.closeSegLocked(); err != nil {
+			// The old segment's close failed; its synced prefix is
+			// still valid, and we are abandoning it either way.
+			j.scope.Counter("close_errors").Inc()
+		}
+	}
+	j.segSeq++
+	path := filepath.Join(j.dir, segName(j.segSeq))
+	f, err := j.fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(magic); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			j.scope.Counter("close_errors").Inc()
+		}
+		return err
+	}
+	if j.sync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				j.scope.Counter("close_errors").Inc()
+			}
+			return err
+		}
+		if err := j.fsys.SyncDir(j.dir); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				j.scope.Counter("close_errors").Inc()
+			}
+			return err
+		}
+	}
+	j.seg = f
+	j.segBytes = int64(len(magic))
+	j.broken = false
+	j.scope.Counter("rotations").Inc()
+	j.scope.Gauge("segment_seq").Set(int64(j.segSeq))
+	j.scope.Gauge("segment_bytes").Set(j.segBytes)
+	return nil
+}
+
+// closeSegLocked syncs (per policy) and closes the active segment.
+func (j *Journal) closeSegLocked() error {
+	seg := j.seg
+	j.seg = nil
+	if seg == nil {
+		return nil
+	}
+	var serr error
+	if j.sync == SyncAlways {
+		serr = seg.Sync()
+	}
+	cerr := seg.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Append encodes r, writes it to the active segment and — under
+// SyncAlways — fsyncs before returning. A nil return is the durability
+// acknowledgement the service relies on: the record will be replayed by
+// every future Open, whatever happens next. On error the record may or
+// may not have reached the disk; the active segment is marked broken
+// and the next Append rotates away from it first.
+func (j *Journal) Append(r Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if j.broken {
+		if err := j.rotateLocked(); err != nil {
+			j.scope.Counter("append_errors").Inc()
+			return fmt.Errorf("journal: rotate away from broken segment: %w", err)
+		}
+	}
+	if j.segBytes > j.segMax {
+		if err := j.rotateLocked(); err != nil {
+			// Rotation failing is not fatal to the append: the old
+			// segment is intact, keep writing to it.
+			j.scope.Counter("rotate_errors").Inc()
+			if j.seg == nil {
+				j.scope.Counter("append_errors").Inc()
+				return fmt.Errorf("journal: no active segment: %w", err)
+			}
+		}
+	}
+	frame := AppendRecord(nil, r)
+	n, err := j.seg.Write(frame)
+	if err != nil {
+		if n > 0 {
+			// A partial frame is now on disk; never append after it.
+			j.broken = true
+		}
+		j.scope.Counter("append_errors").Inc()
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.segBytes += int64(len(frame))
+	if j.sync == SyncAlways {
+		if err := j.seg.Sync(); err != nil {
+			// The write may be volatile; treat the segment as broken so
+			// the next append re-establishes a synced frontier.
+			j.broken = true
+			j.scope.Counter("fsync_errors").Inc()
+			return fmt.Errorf("journal: fsync: %w", err)
+		}
+		j.scope.Counter("fsyncs").Inc()
+	}
+	j.scope.Counter("appends").Inc()
+	j.scope.Gauge("segment_bytes").Set(j.segBytes)
+	return nil
+}
+
+// Compact rewrites records — the caller's reduction of the live state —
+// into a fresh segment and deletes every older segment. The old
+// segments are only removed after the fresh one is fully durable, so a
+// crash at any point leaves a log that replays to either the old or the
+// new history, never neither.
+func (j *Journal) Compact(records []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	oldest, newest := j.onDiskRangeLocked()
+	if err := j.rotateLocked(); err != nil {
+		return fmt.Errorf("journal: compact rotate: %w", err)
+	}
+	var frame []byte
+	for _, r := range records {
+		frame = AppendRecord(frame[:0], r)
+		n, err := j.seg.Write(frame)
+		if err != nil {
+			if n > 0 {
+				j.broken = true
+			}
+			j.scope.Counter("append_errors").Inc()
+			return fmt.Errorf("journal: compact append: %w", err)
+		}
+		j.segBytes += int64(len(frame))
+	}
+	if err := j.seg.Sync(); err != nil {
+		j.broken = true
+		j.scope.Counter("fsync_errors").Inc()
+		return fmt.Errorf("journal: compact fsync: %w", err)
+	}
+	if err := j.fsys.SyncDir(j.dir); err != nil {
+		j.scope.Counter("fsync_errors").Inc()
+		return fmt.Errorf("journal: compact dir sync: %w", err)
+	}
+	// The new segment is durable; history before it is now redundant.
+	for seq := oldest; seq <= newest && oldest != 0; seq++ {
+		path := filepath.Join(j.dir, segName(seq))
+		if err := j.fsys.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			// Leaving a stale segment behind is safe (replay reads it
+			// first and the compacted segment after); count and move on.
+			j.scope.Counter("compact_remove_errors").Inc()
+		} else {
+			j.scope.Counter("segments_deleted").Inc()
+		}
+	}
+	j.scope.Counter("compactions").Inc()
+	j.scope.Gauge("segment_bytes").Set(j.segBytes)
+	return nil
+}
+
+// onDiskRangeLocked returns the [oldest, newest] segment sequence range
+// currently on disk, 0,0 when none.
+func (j *Journal) onDiskRangeLocked() (uint64, uint64) {
+	names, err := j.fsys.ReadDir(j.dir)
+	if err != nil {
+		return 0, 0
+	}
+	var oldest, newest uint64
+	for _, name := range names {
+		if seq, ok := parseSegName(name); ok {
+			if oldest == 0 || seq < oldest {
+				oldest = seq
+			}
+			if seq > newest {
+				newest = seq
+			}
+		}
+	}
+	return oldest, newest
+}
+
+// Healthy reports whether the active segment has taken no unrecovered
+// write or fsync failure. p8d surfaces it in /v1/healthz.
+func (j *Journal) Healthy() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return !j.broken && !j.closed && j.seg != nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Close syncs (per policy) and closes the active segment. The journal
+// rejects appends afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.closeSegLocked()
+}

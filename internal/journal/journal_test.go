@@ -1,0 +1,392 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/iofault"
+)
+
+// testRecords builds a plausible two-job lifecycle.
+func testRecords() []Record {
+	fp := [32]byte{1, 2, 3}
+	return []Record{
+		{Kind: KindSubmitted, JobID: "j1-aabbccdd", Seq: 1, Fingerprint: fp, Request: []byte(`{"quick":true}`)},
+		{Kind: KindRunning, JobID: "j1-aabbccdd"},
+		{Kind: KindReport, JobID: "j1-aabbccdd", Index: 0, FromCache: false},
+		{Kind: KindReport, JobID: "j1-aabbccdd", Index: 1, FromCache: true},
+		{Kind: KindDone, JobID: "j1-aabbccdd"},
+		{Kind: KindSubmitted, JobID: "j2-deadbeef", Seq: 2, Fingerprint: fp, Request: []byte(`{}`)},
+		{Kind: KindRunning, JobID: "j2-deadbeef"},
+	}
+}
+
+// recordsEqual compares through the encoding, which covers every field.
+func recordsEqual(a, b Record) bool {
+	return bytes.Equal(AppendRecord(nil, a), AppendRecord(nil, b))
+}
+
+// TestEncodeDecodeRoundTrip pins that decode inverts encode for every
+// kind.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, r := range testRecords() {
+		frame := AppendRecord(nil, r)
+		got, n, err := DecodeRecord(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", r.Kind, err)
+		}
+		if n != len(frame) {
+			t.Fatalf("%s: consumed %d of %d bytes", r.Kind, n, len(frame))
+		}
+		if !recordsEqual(got, r) {
+			t.Fatalf("%s: round trip changed the record: %+v -> %+v", r.Kind, r, got)
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption flips every byte of an encoded record and
+// requires the decoder to reject or truncate — never accept silently,
+// never panic.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	r := testRecords()[0]
+	frame := AppendRecord(nil, r)
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0xff
+		got, _, err := DecodeRecord(mut)
+		if err == nil && recordsEqual(got, r) {
+			t.Fatalf("flipping byte %d went unnoticed", i)
+		}
+	}
+	// Every strict prefix is truncated, not corrupt or accepted.
+	for i := 0; i < len(frame); i++ {
+		if _, _, err := DecodeRecord(frame[:i]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d bytes: want ErrTruncated, got %v", i, err)
+		}
+	}
+}
+
+// TestAppendReplay pins the basic WAL loop: append records, reopen,
+// get them back in order.
+func TestAppendReplay(t *testing.T) {
+	mem := iofault.NewMem()
+	j, info, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Records) != 0 || info.Segments != 0 {
+		t.Fatalf("fresh journal recovered %+v", info)
+	}
+	want := testRecords()
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append %s: %v", r.Kind, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, info, err = Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TornTail || info.CorruptStop {
+		t.Fatalf("clean log replayed dirty: %+v", info)
+	}
+	if len(info.Records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(info.Records), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(info.Records[i], want[i]) {
+			t.Fatalf("record %d changed across replay", i)
+		}
+	}
+}
+
+// TestSegmentRotation forces rotation with a tiny segment cap and
+// checks replay still sees one continuous log.
+func TestSegmentRotation(t *testing.T) {
+	mem := iofault.NewMem()
+	j, _, err := Open("wal", Options{FS: mem, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 50; i++ {
+		r := Record{Kind: KindRunning, JobID: fmt.Sprintf("j%d-cafef00d", i)}
+		want = append(want, r)
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := mem.ReadDir("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("expected several segments, got %v", names)
+	}
+	_, info, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Records) != len(want) {
+		t.Fatalf("replayed %d records across %d segments, want %d", len(info.Records), info.Segments, len(want))
+	}
+	for i := range want {
+		if !recordsEqual(info.Records[i], want[i]) {
+			t.Fatalf("record %d changed across rotation", i)
+		}
+	}
+}
+
+// TestCompaction pins the compaction contract: after Compact, old
+// segments are gone, and a reopen replays exactly the compacted state.
+func TestCompaction(t *testing.T) {
+	mem := iofault.NewMem()
+	j, _, err := Open("wal", Options{FS: mem, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords() {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact down to just the second job, as if the first aged out.
+	compacted := []Record{
+		{Kind: KindSubmitted, JobID: "j2-deadbeef", Seq: 2, Request: []byte(`{}`)},
+		{Kind: KindInterrupted, JobID: "j2-deadbeef"},
+	}
+	if err := j.Compact(compacted); err != nil {
+		t.Fatal(err)
+	}
+	names, err := mem.ReadDir("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("compaction left %d segments: %v", len(names), names)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Records) != len(compacted) {
+		t.Fatalf("replayed %d records after compaction, want %d", len(info.Records), len(compacted))
+	}
+	for i := range compacted {
+		if !recordsEqual(info.Records[i], compacted[i]) {
+			t.Fatalf("compacted record %d changed", i)
+		}
+	}
+}
+
+// TestTornTailTruncated writes a clean log, appends garbage bytes (a
+// torn frame), and requires replay to keep the clean prefix and flag
+// the tear.
+func TestTornTailTruncated(t *testing.T) {
+	mem := iofault.NewMem()
+	j, _, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()[:3]
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the tail: half a frame of a fourth record.
+	frame := AppendRecord(nil, testRecords()[3])
+	name := "wal/" + segName(j.segSeq)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := mem.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn, err := mem.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := torn.Write(append(data, frame[:len(frame)/2]...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := torn.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, info, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.TornTail {
+		t.Fatal("torn tail not detected")
+	}
+	if info.CorruptStop {
+		t.Fatal("torn tail misclassified as corruption")
+	}
+	if len(info.Records) != len(want) {
+		t.Fatalf("replayed %d records, want the %d-record clean prefix", len(info.Records), len(want))
+	}
+}
+
+// TestCorruptionMidLogStops flips a byte in the middle of a segment and
+// requires replay to stop at the last trustworthy record.
+func TestCorruptionMidLogStops(t *testing.T) {
+	mem := iofault.NewMem()
+	j, _, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name := "wal/" + segName(j.segSeq)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := mem.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a byte inside the third record's frame.
+	off := len(magic) + len(AppendRecord(AppendRecord(nil, recs[0]), recs[1])) + 10
+	data[off] ^= 0xff
+	f, err := mem.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, info, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.CorruptStop {
+		t.Fatal("mid-log corruption not flagged")
+	}
+	if len(info.Records) != 2 {
+		t.Fatalf("replayed %d records past corruption, want 2", len(info.Records))
+	}
+}
+
+// TestAppendErrorRotatesAway pins the broken-segment rule: after a
+// failed (partial) write, the journal rotates before the next append,
+// and every acknowledged record is still replayed.
+func TestAppendErrorRotatesAway(t *testing.T) {
+	mem := iofault.NewMem()
+	// The magic write is write 0; records start at write 1. Fail
+	// record 2's write, leaving a 4-byte partial frame.
+	ffs := iofault.NewFaulty(mem, iofault.Fault{Op: iofault.OpWrite, N: 2, Kind: iofault.KindNoSpace, Arg: 4})
+	j, _, err := Open("wal", Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	acked := 0
+	for _, r := range recs[:4] {
+		if err := j.Append(r); err == nil {
+			acked++
+		}
+	}
+	if acked != 3 {
+		t.Fatalf("acked %d of 4 appends, want 3 (one injected failure)", acked)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := Open("wal", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Records) != acked {
+		t.Fatalf("replayed %d records, want every acked append (%d)", len(info.Records), acked)
+	}
+}
+
+// TestReduce pins the record→state reduction and its compaction
+// rendering round trip.
+func TestReduce(t *testing.T) {
+	states := Reduce(testRecords())
+	if len(states) != 2 {
+		t.Fatalf("reduced to %d jobs, want 2", len(states))
+	}
+	j1, j2 := states[0], states[1]
+	if j1.ID != "j1-aabbccdd" || !j1.Done || !j1.Started || j1.Interrupted {
+		t.Fatalf("j1 state wrong: %+v", j1)
+	}
+	if len(j1.Reports) != 2 || j1.Reports[0] != false || j1.Reports[1] != true {
+		t.Fatalf("j1 reports wrong: %+v", j1.Reports)
+	}
+	if j2.ID != "j2-deadbeef" || j2.Done || !j2.Started {
+		t.Fatalf("j2 state wrong: %+v", j2)
+	}
+	// CompactionRecords must reduce back to the same state.
+	var recs []Record
+	for _, js := range states {
+		recs = append(recs, CompactionRecords(js)...)
+	}
+	again := Reduce(recs)
+	if len(again) != 2 {
+		t.Fatalf("re-reduction lost jobs: %d", len(again))
+	}
+	for i := range states {
+		a, b := states[i], again[i]
+		if a.ID != b.ID || a.Seq != b.Seq || a.Started != b.Started ||
+			a.Done != b.Done || a.Interrupted != b.Interrupted ||
+			len(a.Reports) != len(b.Reports) || !bytes.Equal(a.Request, b.Request) {
+			t.Fatalf("job %d state changed through compaction: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestOSBackend drives the journal over the real filesystem once, so
+// the seam's OS implementation is exercised by the same contract.
+func TestOSBackend(t *testing.T) {
+	dir := t.TempDir() + "/wal"
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testRecords()
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := j2.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	if len(info.Records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(info.Records), len(want))
+	}
+}

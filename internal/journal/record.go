@@ -1,0 +1,217 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind is a job-lifecycle record type. The numeric values are part of
+// the on-disk format; never renumber, only append.
+type Kind uint8
+
+// The record kinds, in lifecycle order. Submitted carries the job's
+// identity and its normalized request; Running, Report and Done are
+// progress markers keyed by job ID; Interrupted is written during
+// recovery for jobs that were running when the process died.
+const (
+	KindSubmitted   Kind = 1
+	KindRunning     Kind = 2
+	KindReport      Kind = 3
+	KindDone        Kind = 4
+	KindInterrupted Kind = 5
+)
+
+// String names the kind for logs and tests.
+func (k Kind) String() string {
+	switch k {
+	case KindSubmitted:
+		return "submitted"
+	case KindRunning:
+		return "running"
+	case KindReport:
+		return "report"
+	case KindDone:
+		return "done"
+	case KindInterrupted:
+		return "interrupted"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// valid reports whether k is a known record kind.
+func (k Kind) valid() bool { return k >= KindSubmitted && k <= KindInterrupted }
+
+// Record is one journal entry. JobID is set on every kind; the other
+// fields are kind-specific (zero elsewhere): Seq, Fingerprint and
+// Request on Submitted; Index and FromCache on Report.
+type Record struct {
+	Kind  Kind
+	JobID string
+	// Seq is the service's admission sequence number (Submitted only);
+	// recovery restores the counter to the maximum seen.
+	Seq uint64
+	// Fingerprint is the canonical job fingerprint (Submitted only).
+	Fingerprint [32]byte
+	// Request is the normalized request, JSON-encoded (Submitted only).
+	Request []byte
+	// Index is the completed experiment's suite index (Report only).
+	Index uint32
+	// FromCache marks a report served warm from the suite cache
+	// (Report only).
+	FromCache bool
+}
+
+// Framing: every record is encoded as
+//
+//	u32 payload length (big endian)
+//	u32 CRC-32 (IEEE) of the payload
+//	payload
+//
+// and the payload reuses the internal/canon conventions: fixed-width
+// big-endian integers and u64 length-prefixed byte strings, in fixed
+// field order. A reader that hits a short frame or a CRC mismatch at
+// the tail of the last segment is looking at a torn write and truncates
+// there; anywhere else it is corruption and replay stops.
+const (
+	frameHeader = 8 // u32 length + u32 crc
+	// maxRecord bounds a single record's payload; a length prefix
+	// beyond it is treated as corruption rather than an allocation
+	// request. Requests are small JSON documents — 1 MiB is generous.
+	maxRecord = 1 << 20
+)
+
+// Decode errors, matched with errors.Is by recovery and tests.
+var (
+	// ErrTruncated marks an incomplete frame: fewer bytes remain than
+	// the header or the declared payload length needs. At the tail of
+	// the final segment this is a torn write, not corruption.
+	ErrTruncated = errors.New("journal: truncated record")
+	// ErrCorrupt marks a frame that cannot be trusted: CRC mismatch,
+	// unknown kind, an oversized length prefix, or payload fields that
+	// overrun the payload.
+	ErrCorrupt = errors.New("journal: corrupt record")
+)
+
+// AppendRecord appends r's framed encoding to dst and returns the
+// extended slice.
+func AppendRecord(dst []byte, r Record) []byte {
+	payload := appendPayload(nil, r)
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// appendPayload encodes the record body in fixed field order.
+func appendPayload(dst []byte, r Record) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = appendBytes(dst, []byte(r.JobID))
+	switch r.Kind {
+	case KindSubmitted:
+		dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+		dst = append(dst, r.Fingerprint[:]...)
+		dst = appendBytes(dst, r.Request)
+	case KindReport:
+		dst = binary.BigEndian.AppendUint32(dst, r.Index)
+		b := byte(0)
+		if r.FromCache {
+			b = 1
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// appendBytes writes a u64 length-prefixed byte string (the canon
+// convention).
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// DecodeRecord parses one framed record from the front of b, returning
+// the record and the number of bytes consumed. It never panics on
+// arbitrary input: malformed frames return ErrTruncated (not enough
+// bytes to finish the frame) or ErrCorrupt (a frame that is complete
+// but cannot be trusted).
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeader {
+		return Record{}, 0, ErrTruncated
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n > maxRecord {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, n)
+	}
+	if len(b) < frameHeader+int(n) {
+		return Record{}, 0, ErrTruncated
+	}
+	payload := b[frameHeader : frameHeader+int(n)]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.BigEndian.Uint32(b[4:8]) {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	r, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return r, frameHeader + int(n), nil
+}
+
+// decodePayload parses a CRC-verified payload.
+func decodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 1 {
+		return r, fmt.Errorf("%w: empty payload", ErrCorrupt)
+	}
+	r.Kind = Kind(p[0])
+	p = p[1:]
+	if !r.Kind.valid() {
+		return r, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(r.Kind))
+	}
+	id, p, err := readBytes(p)
+	if err != nil {
+		return r, err
+	}
+	r.JobID = string(id)
+	switch r.Kind {
+	case KindSubmitted:
+		if len(p) < 8+32 {
+			return r, fmt.Errorf("%w: submitted payload too short", ErrCorrupt)
+		}
+		r.Seq = binary.BigEndian.Uint64(p[:8])
+		copy(r.Fingerprint[:], p[8:40])
+		req, rest, err := readBytes(p[40:])
+		if err != nil {
+			return r, err
+		}
+		// Copy out of the frame buffer: records outlive the segment
+		// read they were decoded from.
+		r.Request = append([]byte(nil), req...)
+		p = rest
+	case KindReport:
+		if len(p) < 5 {
+			return r, fmt.Errorf("%w: report payload too short", ErrCorrupt)
+		}
+		r.Index = binary.BigEndian.Uint32(p[:4])
+		r.FromCache = p[4] != 0
+		p = p[5:]
+	}
+	if len(p) != 0 {
+		return r, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(p))
+	}
+	return r, nil
+}
+
+// readBytes consumes one u64 length-prefixed byte string.
+func readBytes(p []byte) (val, rest []byte, err error) {
+	if len(p) < 8 {
+		return nil, nil, fmt.Errorf("%w: short length prefix", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint64(p[:8])
+	if n > uint64(len(p)-8) {
+		return nil, nil, fmt.Errorf("%w: length %d overruns payload", ErrCorrupt, n)
+	}
+	return p[8 : 8+n], p[8+n:], nil
+}

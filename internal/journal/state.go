@@ -1,0 +1,99 @@
+package journal
+
+import "slices"
+
+// JobState is the reduction of one job's lifecycle records: what a
+// restarted service knows about the job without recomputing anything.
+type JobState struct {
+	// ID, Seq, Fingerprint and Request echo the Submitted record.
+	ID          string
+	Seq         uint64
+	Fingerprint [32]byte
+	Request     []byte
+	// Started is true once a Running record was seen.
+	Started bool
+	// Done is true once a Done record was seen: the job completed and
+	// must never run again.
+	Done bool
+	// Interrupted is true once an Interrupted record was seen: a prior
+	// recovery found the job mid-run and retired it.
+	Interrupted bool
+	// Reports marks which experiment indices had report-ready records,
+	// and whether each was served from cache — progress provenance,
+	// not the reports themselves (those live in the result cache).
+	Reports map[uint32]bool
+}
+
+// Reduce folds replayed records into per-job states, returned in
+// admission (Submitted-record) order. Records for jobs whose Submitted
+// record was lost — possible only under SyncNever or when replay
+// stopped early — are dropped: a job the log cannot identify cannot be
+// listed.
+func Reduce(records []Record) []*JobState {
+	byID := make(map[string]*JobState)
+	var order []*JobState
+	for _, r := range records {
+		if r.Kind == KindSubmitted {
+			if _, dup := byID[r.JobID]; dup {
+				continue // replayed compaction duplicate; first wins
+			}
+			js := &JobState{
+				ID:          r.JobID,
+				Seq:         r.Seq,
+				Fingerprint: r.Fingerprint,
+				Request:     r.Request,
+				Reports:     map[uint32]bool{},
+			}
+			byID[r.JobID] = js
+			order = append(order, js)
+			continue
+		}
+		js, ok := byID[r.JobID]
+		if !ok {
+			continue
+		}
+		switch r.Kind {
+		case KindRunning:
+			js.Started = true
+		case KindReport:
+			js.Reports[r.Index] = r.FromCache
+		case KindDone:
+			js.Done = true
+		case KindInterrupted:
+			js.Interrupted = true
+		}
+	}
+	return order
+}
+
+// CompactionRecords renders a job state back into the minimal record
+// sequence that reduces to it — what Compact writes for each live job.
+func CompactionRecords(js *JobState) []Record {
+	recs := []Record{{
+		Kind:        KindSubmitted,
+		JobID:       js.ID,
+		Seq:         js.Seq,
+		Fingerprint: js.Fingerprint,
+		Request:     js.Request,
+	}}
+	if js.Started {
+		recs = append(recs, Record{Kind: KindRunning, JobID: js.ID})
+	}
+	// Report marks replay in index order so compaction output is
+	// deterministic byte-for-byte.
+	idxs := make([]uint32, 0, len(js.Reports))
+	for idx := range js.Reports {
+		idxs = append(idxs, idx)
+	}
+	slices.Sort(idxs)
+	for _, idx := range idxs {
+		recs = append(recs, Record{Kind: KindReport, JobID: js.ID, Index: idx, FromCache: js.Reports[idx]})
+	}
+	if js.Done {
+		recs = append(recs, Record{Kind: KindDone, JobID: js.ID})
+	}
+	if js.Interrupted {
+		recs = append(recs, Record{Kind: KindInterrupted, JobID: js.ID})
+	}
+	return recs
+}

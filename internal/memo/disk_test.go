@@ -9,6 +9,10 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/iofault"
+	"repro/internal/obs"
 )
 
 func computeBytes(data []byte, store bool, calls *atomic.Int64) func() ([]byte, bool, error) {
@@ -169,6 +173,145 @@ func TestDiskSharedDirectory(t *testing.T) {
 		if strings.HasPrefix(e.Name(), "tmp-") {
 			t.Errorf("temp litter: %s", e.Name())
 		}
+	}
+}
+
+// TestDiskWriteRetries: an injected transient write failure is retried
+// on a deterministic backoff and succeeds, with the attempt accounted
+// under memo/<name>/disk/{write_errors,retries}.
+func TestDiskWriteRetries(t *testing.T) {
+	reg := obs.NewRegistry("root")
+	c := New("t", 0, reg)
+	mem := iofault.NewMem()
+	// Fail the first content write; the retry's write passes.
+	ffs := iofault.NewFaulty(mem, iofault.Fault{Op: iofault.OpWrite, N: 0, Kind: iofault.KindErr})
+	if err := c.SetDirFS("cache", ffs); err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	c.disk.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	if _, _, err := c.DoBytes(key(3), nil, computeBytes([]byte("{}"), true, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := mem.ReadFile("cache/" + key(3).String()); err != nil || string(data) != "{}" {
+		t.Fatalf("entry not on disk after retry: (%q, %v)", data, err)
+	}
+	disk := reg.Child("memo").Child("t").Child("disk")
+	if got := disk.Counter("write_errors").Load(); got != 1 {
+		t.Errorf("write_errors = %d, want 1", got)
+	}
+	if got := disk.Counter("retries").Load(); got != 1 {
+		t.Errorf("retries = %d, want 1", got)
+	}
+	if len(slept) != 1 || slept[0] != diskRetryBackoff {
+		t.Errorf("backoff schedule %v, want [%v]", slept, diskRetryBackoff)
+	}
+}
+
+// TestDiskWriteGivesUp: a persistently failing disk exhausts the
+// attempt budget without failing the request — the cache degrades to
+// memory-only for that entry.
+func TestDiskWriteGivesUp(t *testing.T) {
+	reg := obs.NewRegistry("root")
+	c := New("t", 0, reg)
+	var faults []iofault.Fault
+	for i := 0; i < diskWriteAttempts; i++ {
+		faults = append(faults, iofault.Fault{Op: iofault.OpWrite, N: i, Kind: iofault.KindNoSpace})
+	}
+	mem := iofault.NewMem()
+	ffs := iofault.NewFaulty(mem, faults...)
+	if err := c.SetDirFS("cache", ffs); err != nil {
+		t.Fatal(err)
+	}
+	c.disk.sleep = func(time.Duration) {}
+
+	data, _, err := c.DoBytes(key(4), nil, computeBytes([]byte("{}"), true, nil))
+	if err != nil || string(data) != "{}" {
+		t.Fatalf("request failed with the disk down: (%q, %v)", data, err)
+	}
+	if _, err := mem.ReadFile("cache/" + key(4).String()); err == nil {
+		t.Fatal("entry written despite every attempt failing")
+	}
+	disk := reg.Child("memo").Child("t").Child("disk")
+	if got := disk.Counter("write_errors").Load(); got != diskWriteAttempts {
+		t.Errorf("write_errors = %d, want %d", got, diskWriteAttempts)
+	}
+	if got := disk.Counter("retries").Load(); got != diskWriteAttempts-1 {
+		t.Errorf("retries = %d, want %d", got, diskWriteAttempts-1)
+	}
+	// The in-memory copy still serves.
+	if _, hit, _ := c.DoBytes(key(4), nil, computeBytes(nil, true, nil)); !hit {
+		t.Error("entry not served from memory after disk write failure")
+	}
+}
+
+// TestDiskCorruptDeletedCounter pins the corrupt-entry audit trail.
+func TestDiskCorruptDeletedCounter(t *testing.T) {
+	reg := obs.NewRegistry("root")
+	c := New("t", 0, reg)
+	mem := iofault.NewMem()
+	if err := c.SetDirFS("cache", mem); err != nil {
+		t.Fatal(err)
+	}
+	f, err := mem.Create("cache/" + key(5).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	check := func(p []byte) error {
+		if !bytes.HasPrefix(p, []byte("{")) {
+			return errors.New("corrupt")
+		}
+		return nil
+	}
+	if _, _, err := c.DoBytes(key(5), check, computeBytes([]byte("{}"), true, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Child("memo").Child("t").Child("disk").Counter("corrupt_deleted").Load(); got != 1 {
+		t.Errorf("corrupt_deleted = %d, want 1", got)
+	}
+}
+
+// TestGetBytes: read-only probe hits memory, promotes disk entries, and
+// never computes.
+func TestGetBytes(t *testing.T) {
+	mem := iofault.NewMem()
+	c := New("t", 0, nil)
+	if err := c.SetDirFS("cache", mem); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetBytes(key(6), nil); ok {
+		t.Fatal("GetBytes invented an absent entry")
+	}
+	if _, _, err := c.DoBytes(key(6), nil, computeBytes([]byte(`{"r":1}`), true, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := c.GetBytes(key(6), nil); !ok || string(data) != `{"r":1}` {
+		t.Fatalf("memory GetBytes = (%q, %v)", data, ok)
+	}
+
+	// A fresh cache over the same store: GetBytes serves and promotes
+	// the disk entry.
+	warm := New("t", 0, nil)
+	if err := warm.SetDirFS("cache", mem); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := warm.GetBytes(key(6), nil); !ok || string(data) != `{"r":1}` {
+		t.Fatalf("disk GetBytes = (%q, %v)", data, ok)
+	}
+	if warm.Len() != 1 {
+		t.Errorf("GetBytes did not promote the disk entry (Len=%d)", warm.Len())
+	}
+	// A failing check treats the entry as absent (and deletes it).
+	bad := New("t", 0, nil)
+	if err := bad.SetDirFS("cache", mem); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bad.GetBytes(key(6), func([]byte) error { return errors.New("no") }); ok {
+		t.Fatal("GetBytes served an entry its check rejected")
 	}
 }
 

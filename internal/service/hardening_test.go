@@ -3,6 +3,9 @@ package service
 import (
 	"context"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"sync"
 	"testing"
 	"time"
@@ -177,5 +180,69 @@ func shutdownNow(t *testing.T, svc *Service) {
 	defer cancel()
 	if err := svc.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestDrainWithStuckClient: a slow-loris client that opens a connection
+// and never finishes its request headers must not pin a graceful drain.
+// ReadHeaderTimeout evicts the reader, the connection closes server-side,
+// and Shutdown completes. Before the hardened NewHTTPServer this test
+// hangs until the Shutdown context expires.
+func TestDrainWithStuckClient(t *testing.T) {
+	svc := New(Options{QueueDepth: 2, Workers: 1})
+	svc.Start()
+	defer func() {
+		if err := svc.Shutdown(context.Background()); err != nil {
+			t.Errorf("service shutdown: %v", err)
+		}
+	}()
+
+	srv := NewHTTPServer("127.0.0.1:0", svc.Handler())
+	// Shrink the eviction window so the test is quick; the production
+	// default is pinned by TestNewHTTPServerTimeouts.
+	srv.ReadHeaderTimeout = 50 * time.Millisecond
+	accepted := make(chan struct{}, 4)
+	srv.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			accepted <- struct{}{}
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A partial request: request line and one header, never the
+	// terminating blank line.
+	if _, err := conn.Write([]byte("GET /v1/jobs HTTP/1.1\r\nHost: p8d\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	<-accepted // the server is now reading (and timing) our headers
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with stuck client: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("drain took %v; a stuck client should be evicted in ~ReadHeaderTimeout", elapsed)
+	}
+	// The server hung up on the stuck client, not the other way round.
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Errorf("stuck client read after eviction: %v (want clean server-side close)", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
 	}
 }

@@ -46,10 +46,17 @@ type jobView struct {
 	// admission, in experiment order; the authoritative attribution is
 	// CacheHits/CacheMisses once reports complete.
 	WarmHint []bool `json:"warm_hint,omitempty"`
+	// Recovered marks a job rebuilt from the journal by a restart
+	// rather than admitted by this process; recovered jobs carry no
+	// wall-clock provenance (the *At fields are omitted) and a
+	// recovered done job serves its reports from the result cache.
+	Recovered bool `json:"recovered,omitempty"`
 	// SubmittedAt, and once reached, StartedAt/FinishedAt, are
 	// RFC 3339 wall-clock provenance (volatile; never part of the
-	// fingerprint or the reports body).
-	SubmittedAt string `json:"submitted_at"`
+	// fingerprint or the reports body). All three are omitted on
+	// recovered jobs: the clock readings died with the process that
+	// took them, and the journal deliberately stores none.
+	SubmittedAt string `json:"submitted_at,omitempty"`
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
 	// ReportsURL is where the canonical results land when State is
@@ -72,8 +79,11 @@ func (j *Job) view() jobView {
 		CacheHits:   hits,
 		CacheMisses: misses,
 		WarmHint:    j.warmHint,
-		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		Recovered:   j.recovered,
 		ReportsURL:  "/v1/jobs/" + j.ID + "/reports",
+	}
+	if !j.submitted.IsZero() {
+		v.SubmittedAt = j.submitted.UTC().Format(time.RFC3339Nano)
 	}
 	if !j.started.IsZero() {
 		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
@@ -225,8 +235,11 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 // body — the suite-ordered reports array, indented JSON. For an
 // uninstrumented request this body is a pure function of the
 // normalized request: a warm replay is byte-identical to the cold run
-// that populated the cache (the CI smoke job cmp's exactly this). A
-// job that is not done yet answers 409.
+// that populated the cache (the CI smoke job cmp's exactly this, and
+// the crash-recovery smoke extends the identity across a kill -9). A
+// job that is not done yet answers 409; a job a restart interrupted,
+// or a recovered job whose reports have since left the result cache,
+// answers 410 — in both cases the remedy is to resubmit the request.
 func (s *Service) handleReports(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -237,11 +250,32 @@ func (s *Service) handleReports(w http.ResponseWriter, r *http.Request) {
 	state := job.state
 	reports := job.reports
 	job.mu.Unlock()
-	if state != Done {
+	switch {
+	case state == Interrupted:
+		writeErr(w, http.StatusGone, fmt.Sprintf("job %s was interrupted by a service restart and will not resume; resubmit the request", job.ID))
+	case state != Done:
 		writeErr(w, http.StatusConflict, fmt.Sprintf("job %s is %s, not done; poll /v1/jobs/%s?wait=30s", job.ID, state, job.ID))
-		return
+	case reportsMissing(reports):
+		// Only recovered jobs have nil slots: this process never ran
+		// them, so the bytes live (or lived) in the result cache.
+		if loaded, ok := s.loadRecoveredReports(job); ok {
+			writeJSON(w, http.StatusOK, loaded)
+		} else {
+			writeErr(w, http.StatusGone, fmt.Sprintf("job %s predates this process and its reports are no longer cached; resubmit the request", job.ID))
+		}
+	default:
+		writeJSON(w, http.StatusOK, reports)
 	}
-	writeJSON(w, http.StatusOK, reports)
+}
+
+// reportsMissing reports whether any report slot is unfilled.
+func reportsMissing(reports []*power8.Report) bool {
+	for _, rep := range reports {
+		if rep == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // handleStream is GET /v1/jobs/{id}/stream: NDJSON, one line per
@@ -255,6 +289,15 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
 		return
+	}
+	// A recovered done job streams its cache-loaded reports; if they
+	// are gone the stream is just the trailer (the 410 detail lives on
+	// /reports).
+	job.mu.Lock()
+	missing := job.state == Done && reportsMissing(job.reports)
+	job.mu.Unlock()
+	if job.recovered && missing {
+		_, _ = s.loadRecoveredReports(job)
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
@@ -275,6 +318,10 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		state := job.state
 		changed := job.changed
+		// A Done job with a nil slot at the cursor is a recovered job
+		// whose reports could not be reloaded: no more lines are ever
+		// coming, so the stream ends at the trailer.
+		stalled := state == Done && next < len(job.reports) && job.reports[next] == nil
 		job.mu.Unlock()
 		for _, line := range ready {
 			if err := enc.Encode(line); err != nil {
@@ -284,11 +331,11 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 		if len(ready) > 0 && flusher != nil {
 			flusher.Flush()
 		}
-		if state == Done && next == len(job.reports) {
+		if state == Interrupted || (state == Done && next == len(job.reports)) || stalled {
 			job.mu.Lock()
 			hits, misses := job.cacheTally()
 			job.mu.Unlock()
-			_ = enc.Encode(streamTrailer{State: Done, CacheHits: hits, CacheMisses: misses})
+			_ = enc.Encode(streamTrailer{State: state, CacheHits: hits, CacheMisses: misses})
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -369,10 +416,22 @@ type healthView struct {
 	QueueCap   int    `json:"queue_cap"`
 	Workers    int    `json:"workers"`
 	Jobs       int    `json:"jobs"`
+	// Journal is "off" (no -journal), "ok" (appends landing), or
+	// "degraded" (the active segment broke; the journal rotates away on
+	// the next append, but the last append did not reach the log).
+	Journal string `json:"journal"`
 }
 
 // handleHealthz is GET /v1/healthz.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	journalStatus := "off"
+	if s.opts.Journal != nil {
+		if s.opts.Journal.Healthy() {
+			journalStatus = "ok"
+		} else {
+			journalStatus = "degraded"
+		}
+	}
 	s.mu.Lock()
 	status := "ok"
 	if s.draining {
@@ -384,7 +443,24 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QueueCap:   cap(s.queue),
 		Workers:    s.opts.Workers,
 		Jobs:       len(s.jobs),
+		Journal:    journalStatus,
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, v)
+}
+
+// NewHTTPServer wraps a handler in an http.Server with the network
+// hygiene a long-running daemon needs: ReadHeaderTimeout bounds how
+// long a connection may dribble its request head (a slow-loris client
+// cannot pin a connection open through a drain), and IdleTimeout reaps
+// abandoned keep-alive connections. ReadTimeout and WriteTimeout stay
+// unset on purpose — ?wait long-polls and /stream responses are
+// legitimately long-lived, and the handlers bound their own waits.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }

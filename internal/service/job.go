@@ -58,11 +58,15 @@ type State string
 // The job lifecycle is linear: Queued (admitted, waiting for a worker)
 // → Running (a worker is executing the suite) → Done (every report is
 // final; failed experiments are FAILED reports inside a Done job, not
-// a distinct job state).
+// a distinct job state). Interrupted is the one branch, and only
+// recovery takes it: a job the journal shows mid-run when the process
+// died is retired there — terminal, never re-run, resubmit to retry
+// (see API.md "Restart semantics").
 const (
-	Queued  State = "queued"
-	Running State = "running"
-	Done    State = "done"
+	Queued      State = "queued"
+	Running     State = "running"
+	Done        State = "done"
+	Interrupted State = "interrupted"
 )
 
 // Job is one admitted request and its results. All fields behind mu
@@ -83,6 +87,10 @@ type Job struct {
 	exps []power8.Experiment
 	plan *power8.FaultPlan
 	reg  *obs.Registry // per-job scope when req.Stats; nil otherwise
+	// recovered marks a job rebuilt from the journal at boot rather
+	// than admitted by this process. Immutable after Recover publishes
+	// the job, so readable without mu.
+	recovered bool
 
 	mu        sync.Mutex
 	state     State

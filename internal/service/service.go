@@ -26,6 +26,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -33,6 +34,7 @@ import (
 
 	power8 "repro"
 	"repro/internal/canon"
+	"repro/internal/journal"
 	"repro/internal/machine"
 	"repro/internal/obs"
 )
@@ -58,6 +60,11 @@ type Options struct {
 	Stats *obs.Registry
 	// WaitLimit caps the ?wait long-poll parameter; <= 0 means 60s.
 	WaitLimit time.Duration
+	// Journal, when non-nil, is the write-ahead job journal: every
+	// lifecycle transition is logged before it becomes observable, and
+	// Recover rebuilds the job table from a replayed log at boot. nil
+	// means jobs are process-local, as before PR 10.
+	Journal *journal.Journal
 }
 
 // Service is the job queue, worker pool and job index behind the HTTP
@@ -200,11 +207,26 @@ func (s *Service) Submit(req Request) (*Job, error) {
 		}
 	}
 
+	// The journal's Submitted record carries the normalized request, so
+	// a restarted process re-normalizes to the identical job.
+	reqJSON, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.scope.Counter("jobs_rejected_draining").Inc()
 		return nil, &submitErr{code: http.StatusServiceUnavailable, msg: "service is draining; not accepting jobs"}
+	}
+	// The full-queue check happens BEFORE the journal append: a job the
+	// queue cannot hold must not reach the log (a restart would admit
+	// it). Between this check and the send the queue can only drain
+	// (workers never enqueue), so the send cannot block.
+	if len(s.queue) == cap(s.queue) {
+		s.scope.Counter("jobs_rejected_full").Inc()
+		return nil, &submitErr{code: http.StatusTooManyRequests, msg: "job queue is full; retry later"}
 	}
 	// The ID must be written BEFORE the job is pushed into the queue:
 	// the channel send publishes the job to the worker pool, and any
@@ -212,6 +234,13 @@ func (s *Service) Submit(req Request) (*Job, error) {
 	// sequence number rolls back so admission numbering stays dense.
 	s.seq++
 	job.ID = jobID(s.seq, job.Fingerprint)
+	// Log-before-act: the Submitted record must be durable before the
+	// job becomes runnable. 202 is a promise a restart has to keep, so
+	// an append failure rejects the admission instead of weakening it.
+	if err := s.journalSubmitted(job, s.seq, reqJSON); err != nil {
+		s.seq--
+		return nil, &submitErr{code: http.StatusServiceUnavailable, msg: "job journal unavailable; not accepting jobs"}
+	}
 	select {
 	case s.queue <- job:
 	default:
@@ -279,6 +308,9 @@ func (s *Service) runOptions(job *Job) power8.RunOptions {
 // OnReport hook feeds per-experiment progress and warm/cold provenance
 // back into the job as it happens.
 func (s *Service) runJob(job *Job) {
+	// Each transition is journaled before it is published (log-before-
+	// act); see durable.go for why these appends are best-effort.
+	s.journalAppend(journal.Record{Kind: journal.KindRunning, JobID: job.ID})
 	job.setRunning()
 	s.scope.Counter("jobs_started").Inc()
 	opts := s.runOptions(job)
@@ -288,8 +320,14 @@ func (s *Service) runJob(job *Job) {
 		} else {
 			s.scope.Counter("reports_computed").Inc()
 		}
+		s.journalAppend(journal.Record{Kind: journal.KindReport, JobID: job.ID, Index: uint32(i), FromCache: fromCache})
 		job.record(i, rep, fromCache)
 	}
-	job.finish(power8.RunSuite(job.exps, job.m, opts))
+	reports := power8.RunSuite(job.exps, job.m, opts)
+	// Done hits the log before the done channel closes: once a client
+	// sees "done", a restart will too (the reports themselves were
+	// persisted by the disk cache as they were computed).
+	s.journalAppend(journal.Record{Kind: journal.KindDone, JobID: job.ID})
+	job.finish(reports)
 	s.scope.Counter("jobs_completed").Inc()
 }

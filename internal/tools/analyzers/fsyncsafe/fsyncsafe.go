@@ -1,0 +1,123 @@
+// Package fsyncsafe enforces the durability layer's error-handling
+// contract: in the packages that implement the write-ahead journal and
+// the on-disk result cache ("journal" and "memo"), the error returned
+// by a Close or Sync call must not be discarded. Both calls are
+// durability acknowledgements there — Sync is the only point the
+// kernel admits data reached stable storage, and Close is the last
+// chance to learn that buffered writes were lost — so a dropped error
+// silently converts "this record is durable" into "this record is
+// probably durable", which is exactly the bug class the journal
+// exists to rule out.
+//
+// Flagged shapes:
+//
+//	f.Close()          // bare statement: error vanishes
+//	defer f.Sync()     // deferred: error vanishes at function exit
+//	go f.Close()       // goroutine: error vanishes on another stack
+//	_ = f.Close()      // blank-assigned: explicit but still a discard
+//
+// Only calls whose callee actually returns an error are flagged, so
+// helper methods that happen to be named Close or Sync but return
+// nothing are exempt. A genuinely-unwanted error (for example closing
+// a read-only handle after replay, where no written byte is at stake)
+// takes a //p8:allow fsyncsafe directive with a justification, which
+// is counted by the .p8lint-budget accounting like every other
+// suppression.
+package fsyncsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/tools/analyzers/analysis"
+)
+
+// Analyzer is the fsyncsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncsafe",
+	Doc:  "Close/Sync error returns must be handled in the durability packages (journal, memo)",
+	Run:  run,
+}
+
+// guardedPkgs names the packages under the contract, by package name
+// so golden testdata can stand in for the real repro/internal paths.
+var guardedPkgs = map[string]bool{"journal": true, "memo": true}
+
+func run(pass *analysis.Pass) error {
+	if !guardedPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					report(pass, call, "discarded")
+				}
+			case *ast.DeferStmt:
+				report(pass, st.Call, "deferred with its error discarded")
+			case *ast.GoStmt:
+				report(pass, st.Call, "spawned with its error discarded")
+			case *ast.AssignStmt:
+				// `_ = f.Close()`: every left-hand side is blank.
+				if !allBlank(st.Lhs) {
+					return true
+				}
+				for _, rhs := range st.Rhs {
+					if call, ok := rhs.(*ast.CallExpr); ok {
+						report(pass, call, "blank-assigned")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// report flags call when it is a Close or Sync method call that
+// returns an error.
+func report(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name != "Close" && name != "Sync" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s error %s: in the durability packages a dropped %s error turns an acknowledged write into a hope (handle it, or //p8:allow with a reason)",
+		name, how, name)
+}
+
+// returnsError reports whether the signature's last result is the
+// builtin error type.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// allBlank reports whether every expression is the blank identifier.
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package fsyncsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/tools/analyzers/analysistest"
+	"repro/internal/tools/analyzers/fsyncsafe"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, "testdata", fsyncsafe.Analyzer, "journal", "notdurable")
+}

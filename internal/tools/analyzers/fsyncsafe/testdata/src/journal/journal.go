@@ -1,0 +1,87 @@
+// Package journal is a golden stand-in for repro/internal/journal:
+// the analyzer keys on the package name. The same rules cover the
+// memo package.
+package journal
+
+// File mirrors the iofault.File durability surface.
+type File struct{}
+
+// Write is here so the good examples have something to flush.
+func (f *File) Write(p []byte) (int, error) { return len(p), nil }
+
+// Sync returns the durability acknowledgement.
+func (f *File) Sync() error { return nil }
+
+// Close returns the last-chance write-back error.
+func (f *File) Close() error { return nil }
+
+// quietCloser's Close returns nothing; the contract is about error
+// returns, so it is exempt.
+type quietCloser struct{}
+
+func (quietCloser) Close() {}
+
+// sink swallows errors so the good examples compile.
+func sink(err error) {}
+
+// good handles every acknowledgement: the canonical shapes.
+func good(f *File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if cerr := f.Close(); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
+// goodCaptured keeps the error in scope for joining.
+func goodCaptured(f *File) {
+	serr := f.Sync()
+	cerr := f.Close()
+	sink(serr)
+	sink(cerr)
+}
+
+// bareStatements drop both acknowledgements on the floor.
+func bareStatements(f *File) {
+	f.Sync()  // want `Sync error discarded`
+	f.Close() // want `Close error discarded`
+}
+
+// deferred loses the error at function exit — the classic shape that
+// loses the final buffered write of a temp file.
+func deferred(f *File) {
+	defer f.Close() // want `Close error deferred`
+	_, _ = f.Write([]byte("x"))
+}
+
+// spawned loses the error on another goroutine's stack.
+func spawned(f *File) {
+	go f.Close() // want `Close error spawned`
+}
+
+// blankAssigned is explicit, but still a discard: in a durability
+// package the explicitness must come with a justification.
+func blankAssigned(f *File) {
+	_ = f.Sync() // want `Sync error blank-assigned`
+}
+
+// voidClose is exempt: no error to lose.
+func voidClose(q quietCloser) {
+	q.Close()
+}
+
+// allowed pins the suppression protocol: a //p8:allow with a
+// justification silences the finding.
+func allowed(f *File) {
+	_ = f.Close() //p8:allow fsyncsafe: read-only handle after replay; no written byte at stake
+}
+
+// localFunc is exempt: Close here is a plain function, not a method,
+// so it is not a handle acknowledgement.
+func localFunc() {
+	Close := func() error { return nil }
+	Close()
+	_ = Close()
+}

@@ -1,0 +1,21 @@
+// Package notdurable shows the contract scoping: identical discards
+// outside the journal and memo packages are not fsyncsafe's business
+// (the general-purpose errcheck-style rules, where wanted, are other
+// analyzers' jobs).
+package notdurable
+
+// File mirrors the durability surface of the journal golden package.
+type File struct{}
+
+// Sync returns an error that this package may drop.
+func (f *File) Sync() error { return nil }
+
+// Close returns an error that this package may drop.
+func (f *File) Close() error { return nil }
+
+// drops discards freely: no findings here.
+func drops(f *File) {
+	f.Sync()
+	defer f.Close()
+	_ = f.Close()
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/tools/analyzers/determinism"
 	"repro/internal/tools/analyzers/frozendeep"
 	"repro/internal/tools/analyzers/frozenmachine"
+	"repro/internal/tools/analyzers/fsyncsafe"
 	"repro/internal/tools/analyzers/hotpath"
 	"repro/internal/tools/analyzers/hotpathdeep"
 	"repro/internal/tools/analyzers/isolation"
@@ -30,6 +31,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
 		frozenmachine.Analyzer,
+		fsyncsafe.Analyzer,
 		hotpath.Analyzer,
 		isolation.Analyzer,
 		nilsafe.Analyzer,
